@@ -1,0 +1,122 @@
+"""Extra ablations beyond the paper's figures (design choices listed in DESIGN.md).
+
+* **Index traversal vs flat scan** — how much of the speed-up comes from the
+  tree index itself (aggregate pruning + best-first termination) versus the
+  community-level rules alone.  The flat scan is the brute-force enumeration
+  over all centres.
+* **Number of pre-selected thresholds m** — more thresholds mean tighter
+  score bounds (better pruning) at the cost of a larger index; the bench
+  measures query time for m = 1 and m = 3.
+* **MIA score vs Monte-Carlo IC spread** — the deterministic MIA-based
+  influential score is the paper's ranking signal; the bench checks how it
+  correlates with a sampled independent-cascade spread for the top community
+  and times both.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.influence.cascade import estimate_spread
+from repro.query.baselines.bruteforce import bruteforce_topl
+
+from benchmarks.conftest import BENCH_ROUNDS, default_topl_query
+
+
+# --------------------------------------------------------------------------- #
+# index traversal vs flat scan
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("dataset", ("uni", "dblp"))
+def test_ablation_index_traversal(benchmark, bench_engines, bench_workloads, dataset):
+    engine = bench_engines[dataset]
+    query = default_topl_query(bench_workloads[dataset])
+    result = benchmark.pedantic(engine.topl, args=(query,), rounds=BENCH_ROUNDS, iterations=1)
+    benchmark.extra_info.update({"dataset": dataset, "method": "index", "found": len(result)})
+
+
+@pytest.mark.parametrize("dataset", ("uni", "dblp"))
+def test_ablation_flat_scan(benchmark, bench_graphs, bench_workloads, dataset):
+    graph = bench_graphs[dataset]
+    query = default_topl_query(bench_workloads[dataset])
+    result = benchmark.pedantic(
+        bruteforce_topl, args=(graph, query), rounds=BENCH_ROUNDS, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"dataset": dataset, "method": "flat-scan", "found": len(result)}
+    )
+
+
+# --------------------------------------------------------------------------- #
+# number of pre-selected thresholds m
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def threshold_count_engines(bench_graphs):
+    graph = bench_graphs["uni"]
+    return {
+        1: InfluentialCommunityEngine.build(
+            graph, config=EngineConfig(max_radius=2, thresholds=(0.1,)), validate=False
+        ),
+        3: InfluentialCommunityEngine.build(
+            graph, config=EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3)), validate=False
+        ),
+    }
+
+
+@pytest.mark.parametrize("num_thresholds", (1, 3))
+def test_ablation_threshold_count(
+    benchmark, threshold_count_engines, bench_workloads, num_thresholds
+):
+    engine = threshold_count_engines[num_thresholds]
+    query = default_topl_query(bench_workloads["uni"], theta=0.2)
+    result = benchmark.pedantic(engine.topl, args=(query,), rounds=BENCH_ROUNDS, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "m": num_thresholds,
+            "scored": result.statistics.communities_scored,
+            "pruned": result.statistics.total_pruned,
+        }
+    )
+
+
+def test_ablation_more_thresholds_never_weaker(benchmark, threshold_count_engines, bench_workloads):
+    """With theta = 0.2, m = 3 has an exact bound while m = 1 falls back to the 0.1 bound."""
+
+    def check():
+        query = default_topl_query(bench_workloads["uni"], theta=0.2)
+        loose = threshold_count_engines[1].topl(query)
+        tight = threshold_count_engines[3].topl(query)
+        assert list(tight.scores) == pytest.approx(list(loose.scores))
+        assert tight.statistics.communities_scored <= loose.statistics.communities_scored
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+# --------------------------------------------------------------------------- #
+# MIA influential score vs Monte-Carlo IC spread
+# --------------------------------------------------------------------------- #
+def test_ablation_mia_score(benchmark, bench_engines, bench_workloads):
+    engine = bench_engines["uni"]
+    query = default_topl_query(bench_workloads["uni"], top_l=1, k=3)
+    result = benchmark.pedantic(engine.topl, args=(query,), rounds=BENCH_ROUNDS, iterations=1)
+    if result.best is not None:
+        benchmark.extra_info["mia_score"] = round(result.best.score, 3)
+
+
+def test_ablation_ic_spread(benchmark, bench_graphs, bench_engines, bench_workloads):
+    graph = bench_graphs["uni"]
+    engine = bench_engines["uni"]
+    query = default_topl_query(bench_workloads["uni"], top_l=1, k=3)
+    best = engine.topl(query).best
+    if best is None:
+        pytest.skip("no community found at the default parameters")
+    cascade = benchmark.pedantic(
+        estimate_spread,
+        args=(graph, best.vertices),
+        kwargs={"num_simulations": 30, "rng": 5},
+        rounds=BENCH_ROUNDS,
+        iterations=1,
+    )
+    benchmark.extra_info["ic_mean_spread"] = round(cascade.mean_spread, 3)
+    benchmark.extra_info["mia_score"] = round(best.score, 3)
+    # Both signals agree that the community reaches beyond itself.
+    assert cascade.mean_spread >= len(best.vertices)

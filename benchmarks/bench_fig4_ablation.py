@@ -1,0 +1,89 @@
+"""Figure 4 — ablation of the pruning strategies.
+
+Panel (a) counts pruned candidate communities and panel (b) measures the wall
+clock for three cumulative pruning configurations: keyword only, keyword +
+support, and keyword + support + score.  Paper shape: every added rule prunes
+roughly an order of magnitude more candidates and lowers the time, with the
+influential-score rule contributing the largest share.
+"""
+
+import pytest
+
+from repro.graph.datasets import dataset_names
+from repro.pruning.stats import ABLATION_CONFIGS
+from repro.query.topl import TopLProcessor
+from repro.workloads.reporting import format_table
+
+from benchmarks.conftest import BENCH_ROUNDS, default_topl_query
+
+_CONFIG_LABELS = {config.label(): config for config in ABLATION_CONFIGS}
+_PRUNED: dict[tuple, dict] = {}
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+@pytest.mark.parametrize("label", list(_CONFIG_LABELS))
+def test_fig4_pruning_ablation(benchmark, bench_graphs, bench_engines, bench_workloads, dataset, label):
+    config = _CONFIG_LABELS[label]
+    graph = bench_graphs[dataset]
+    engine = bench_engines[dataset]
+    processor = TopLProcessor(graph, index=engine.index, pruning=config)
+    query = default_topl_query(bench_workloads[dataset])
+
+    result = benchmark.pedantic(processor.query, args=(query,), rounds=BENCH_ROUNDS, iterations=1)
+    statistics = result.statistics
+    _PRUNED[(dataset, label)] = {
+        "pruned": statistics.total_pruned,
+        "scored": statistics.communities_scored,
+        "seconds": benchmark.stats.stats.mean,
+    }
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "pruning": label,
+            "pruned_candidates": statistics.total_pruned,
+            "communities_scored": statistics.communities_scored,
+        }
+    )
+
+
+def test_fig4_report(benchmark, capsys):
+    """Print the Figure 4 analogue: pruned candidates and time per configuration."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for (dataset, label), metrics in sorted(_PRUNED.items()):
+        rows.append(
+            {
+                "dataset": dataset,
+                "pruning": label,
+                "pruned": metrics["pruned"],
+                "scored": metrics["scored"],
+                "time (s)": round(metrics["seconds"], 4),
+            }
+        )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 4: pruning ablation (#pruned / time)"))
+        print(
+            "paper shape: each added rule prunes more candidates; "
+            "keyword+support+score is fastest"
+        )
+    assert rows
+
+
+def test_fig4_more_pruning_scores_fewer_candidates(
+    benchmark, bench_graphs, bench_engines, bench_workloads
+):
+    """Sanity assertion of the paper's headline across all datasets."""
+
+    def check():
+        for dataset in dataset_names():
+            query = default_topl_query(bench_workloads[dataset])
+            scored = []
+            for config in ABLATION_CONFIGS:
+                processor = TopLProcessor(
+                    bench_graphs[dataset], index=bench_engines[dataset].index, pruning=config
+                )
+                scored.append(processor.query(query).statistics.communities_scored)
+            assert scored[0] >= scored[-1]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""DTopL-ICDE deep dive: why diversified selection beats independent ranking.
+
+The script constructs a network where the three most influential communities
+heavily overlap in the users they reach — the situation that motivates
+DTopL-ICDE (Definition 5).  It then compares:
+
+* the plain TopL-ICDE ranking (which happily returns the overlapping trio),
+* the greedy DTopL-ICDE selection with lazy-evaluation pruning (Greedy_WP),
+* the greedy without pruning (Greedy_WoP), and
+* the exact optimum (Optimal) — feasible here because the instance is small.
+
+Run with::
+
+    python examples/diversified_campaign.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import InfluentialCommunityEngine, make_dtopl_query, make_topl_query
+from repro.graph.social_network import SocialNetwork
+from repro.pruning.diversity import diversity_score
+from repro.query.baselines.greedy_wop import greedy_wop_dtopl
+from repro.query.baselines.optimal import optimal_dtopl
+from repro.workloads.reporting import format_table
+
+
+def build_overlapping_network() -> SocialNetwork:
+    """Three 'sports' cliques around one shared audience + one independent clique."""
+    graph = SocialNetwork(name="overlapping-communities")
+    cliques = {
+        "A": [1, 2, 3, 4],
+        "B": [5, 6, 7, 8],
+        "C": [9, 10, 11, 12],
+        "D": [13, 14, 15, 16],   # reaches a different audience
+    }
+    for name, members in cliques.items():
+        for vertex in members:
+            graph.add_vertex(vertex, {"sports"})
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v, 0.8)
+
+    shared_audience = list(range(20, 35))
+    separate_audience = list(range(40, 50))
+    for vertex in shared_audience + separate_audience:
+        graph.add_vertex(vertex, {"cosmetics"})
+
+    # Cliques A, B, C all reach the same shared audience.
+    for clique_name in ("A", "B", "C"):
+        anchor = cliques[clique_name][0]
+        for vertex in shared_audience:
+            graph.add_edge(anchor, vertex, 0.7)
+    # Clique D reaches its own audience.
+    for vertex in separate_audience:
+        graph.add_edge(cliques["D"][0], vertex, 0.7)
+
+    # Light bridges so the graph is connected.
+    graph.add_edge(4, 5, 0.5)
+    graph.add_edge(8, 9, 0.5)
+    graph.add_edge(12, 13, 0.5)
+    return graph
+
+
+def main() -> None:
+    graph = build_overlapping_network()
+    engine = InfluentialCommunityEngine.build(graph)
+    print(f"graph: |V| = {graph.num_vertices()}, |E| = {graph.num_edges()}\n")
+
+    # ------------------------------------------------------------------ #
+    # plain TopL-ICDE: the overlap problem
+    # ------------------------------------------------------------------ #
+    topl_query = make_topl_query({"sports"}, k=4, radius=1, theta=0.2, top_l=2)
+    topl = engine.topl(topl_query)
+    print("TopL-ICDE (independent ranking):")
+    print(format_table(topl.summary_rows()))
+    combined = diversity_score([c.influenced for c in topl])
+    total = sum(c.score for c in topl)
+    print(
+        f"summed scores {total:.2f}, but combined (deduplicated) reach only {combined:.2f} "
+        "— the two best communities influence mostly the same users\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    # DTopL-ICDE: three methods
+    # ------------------------------------------------------------------ #
+    dtopl_query = make_dtopl_query(
+        {"sports"}, k=4, radius=1, theta=0.2, top_l=2, candidate_factor=3
+    )
+
+    rows = []
+    started = time.perf_counter()
+    greedy_wp = engine.dtopl(dtopl_query)
+    rows.append(
+        {
+            "method": "Greedy_WP (lazy, Lemma 9)",
+            "seconds": round(time.perf_counter() - started, 4),
+            "diversity score": round(greedy_wp.diversity_score, 2),
+            "gain evaluations": greedy_wp.increment_evaluations,
+        }
+    )
+
+    started = time.perf_counter()
+    greedy_wop = greedy_wop_dtopl(graph, dtopl_query, index=engine.index)
+    rows.append(
+        {
+            "method": "Greedy_WoP (eager)",
+            "seconds": round(time.perf_counter() - started, 4),
+            "diversity score": round(greedy_wop.diversity_score, 2),
+            "gain evaluations": greedy_wop.increment_evaluations,
+        }
+    )
+
+    started = time.perf_counter()
+    optimal = optimal_dtopl(graph, dtopl_query, index=engine.index)
+    rows.append(
+        {
+            "method": "Optimal (exhaustive)",
+            "seconds": round(time.perf_counter() - started, 4),
+            "diversity score": round(optimal.diversity_score, 2),
+            "gain evaluations": optimal.increment_evaluations,
+        }
+    )
+
+    print("DTopL-ICDE (diversified selection):")
+    print(format_table(rows))
+    print("\nselected by Greedy_WP:")
+    print(format_table(greedy_wp.summary_rows()))
+
+    accuracy = (
+        greedy_wp.diversity_score / optimal.diversity_score if optimal.diversity_score else 1.0
+    )
+    print(
+        f"\nGreedy_WP reaches {accuracy:.2%} of the optimal diversity score while "
+        f"evaluating {greedy_wp.increment_evaluations} marginal gains "
+        f"(Greedy_WoP needed {greedy_wop.increment_evaluations})."
+    )
+    print(
+        "Note how the diversified selection pairs one 'shared audience' clique with the "
+        "independent clique D instead of returning two overlapping cliques."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Parameter study: reproduce the shape of the paper's Figure 3 sweeps in code.
+
+The benchmark suite under ``benchmarks/`` regenerates each figure with
+pytest-benchmark; this example shows how to run the same sweeps
+programmatically with :class:`repro.workloads.ExperimentRunner`, which is the
+more convenient route when you want the raw rows (e.g. to plot them yourself).
+
+Run with::
+
+    python examples/parameter_study.py
+
+The graphs are deliberately small so the script finishes in well under a
+minute; increase ``NUM_VERTICES`` for smoother trends.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.workloads.reporting import format_series, format_table
+from repro.workloads.runner import ExperimentRunner
+from repro.workloads.sweeps import PAPER_PARAMETER_GRID
+
+NUM_VERTICES = 400
+DISTRIBUTIONS = ("uniform", "gaussian", "zipf")
+
+
+def sweep_influence_threshold(runner: ExperimentRunner) -> list[dict]:
+    """Figure 3(a): effect of the influence threshold theta."""
+    rows = []
+    for distribution in DISTRIBUTIONS:
+        graph = runner.synthetic_graph(distribution, num_vertices=NUM_VERTICES)
+        workload = runner.workload_for(graph)
+        series = []
+        for setting in runner.grid.sweep("theta"):
+            query = workload.topl_query(
+                num_keywords=setting["num_query_keywords"],
+                k=3,
+                radius=setting["radius"],
+                theta=setting["theta"],
+                top_l=setting["top_l"],
+            )
+            point = runner.measure_topl(graph, query)
+            rows.append(point.row())
+            series.append((setting["theta"], round(point.metrics["wall_clock_s"], 4)))
+        print(format_series(f"theta sweep [{distribution}]", series))
+    return rows
+
+
+def sweep_result_size(runner: ExperimentRunner) -> list[dict]:
+    """Figure 3(e): effect of the result size L."""
+    rows = []
+    for distribution in DISTRIBUTIONS:
+        graph = runner.synthetic_graph(distribution, num_vertices=NUM_VERTICES)
+        workload = runner.workload_for(graph)
+        series = []
+        for setting in runner.grid.sweep("top_l"):
+            query = workload.topl_query(
+                num_keywords=setting["num_query_keywords"],
+                k=3,
+                radius=setting["radius"],
+                theta=setting["theta"],
+                top_l=setting["top_l"],
+            )
+            point = runner.measure_topl(graph, query)
+            rows.append(point.row())
+            series.append((setting["top_l"], round(point.metrics["wall_clock_s"], 4)))
+        print(format_series(f"L sweep     [{distribution}]", series))
+    return rows
+
+
+def sweep_graph_size(runner: ExperimentRunner) -> list[dict]:
+    """Figure 3(h): scalability with |V(G)| (scaled ladder)."""
+    rows = []
+    series = []
+    for size in (100, 200, 400, 800):
+        graph = runner.synthetic_graph("uniform", num_vertices=size)
+        workload = runner.workload_for(graph)
+        query = workload.topl_query(num_keywords=5, k=3, radius=2, theta=0.2, top_l=5)
+        point = runner.measure_topl(graph, query)
+        rows.append(point.row())
+        series.append((size, round(point.metrics["wall_clock_s"], 4)))
+    print(format_series("|V| sweep   [uniform]", series))
+    return rows
+
+
+def main() -> None:
+    runner = ExperimentRunner(
+        grid=PAPER_PARAMETER_GRID,
+        config=EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3)),
+        rng_seed=2024,
+    )
+
+    print("== Figure 3(a): influence threshold theta ==")
+    theta_rows = sweep_influence_threshold(runner)
+
+    print("\n== Figure 3(e): result size L ==")
+    size_rows = sweep_result_size(runner)
+
+    print("\n== Figure 3(h): graph size |V(G)| ==")
+    scalability_rows = sweep_graph_size(runner)
+
+    print("\nraw rows (first few):")
+    print(format_table((theta_rows + size_rows + scalability_rows)[:8]))
+    print(
+        "\nexpected shapes (paper): theta — rise then fall; L — mild increase; "
+        "|V| — smooth growth"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — Top-L Most Influential Community Detection over social networks.
+
+A from-scratch reproduction of *"Top-L Most Influential Community Detection
+Over Social Networks"* (ICDE 2024): the TopL-ICDE problem, its diversified
+variant DTopL-ICDE, the pruning strategies and tree index of the paper, plus
+every substrate they rest on (k-truss / k-core decomposition, the MIA
+influence model, synthetic social-network generators and dataset stand-ins).
+
+Quick start
+-----------
+>>> from repro import InfluentialCommunityEngine, make_topl_query
+>>> from repro.graph import datasets
+>>> graph = datasets.uni(num_vertices=400, rng=1)
+>>> engine = InfluentialCommunityEngine.build(graph)
+>>> result = engine.topl(make_topl_query({"movies"}, k=3, radius=2, theta=0.2, top_l=3))
+>>> len(result) <= 3
+True
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.exceptions import (
+    DatasetError,
+    GraphError,
+    IndexStateError,
+    InvalidProbabilityError,
+    QueryParameterError,
+    ReproError,
+    SerializationError,
+    VertexNotFoundError,
+)
+from repro.graph.social_network import SocialNetwork
+from repro.graph.subgraph import SubgraphView
+from repro.index.tree import TreeIndex, build_tree_index
+from repro.pruning.stats import PruningConfig
+from repro.query.params import DTopLQuery, TopLQuery, make_dtopl_query, make_topl_query
+from repro.query.results import DTopLResult, SeedCommunity, TopLResult
+from repro.query.topl import TopLProcessor, topl_icde
+from repro.query.dtopl import DTopLProcessor, dtopl_icde
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "InfluentialCommunityEngine",
+    "DatasetError",
+    "GraphError",
+    "IndexStateError",
+    "InvalidProbabilityError",
+    "QueryParameterError",
+    "ReproError",
+    "SerializationError",
+    "VertexNotFoundError",
+    "SocialNetwork",
+    "SubgraphView",
+    "TreeIndex",
+    "build_tree_index",
+    "PruningConfig",
+    "DTopLQuery",
+    "TopLQuery",
+    "make_dtopl_query",
+    "make_topl_query",
+    "DTopLResult",
+    "SeedCommunity",
+    "TopLResult",
+    "TopLProcessor",
+    "topl_icde",
+    "DTopLProcessor",
+    "dtopl_icde",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Result analysis: community quality metrics and cross-method comparisons."""
+
+from repro.analysis.metrics import (
+    CommunityQualityReport,
+    conductance,
+    influence_efficiency,
+    influenced_keyword_coverage,
+    internal_density,
+    keyword_coverage,
+    minimum_edge_support,
+    minimum_internal_degree,
+    quality_report,
+)
+from repro.analysis.comparison import (
+    RankingAgreement,
+    compare_rankings,
+    coverage_gain_curve,
+    influence_overlap_matrix,
+    jaccard,
+    seed_overlap_matrix,
+)
+
+__all__ = [
+    "CommunityQualityReport",
+    "conductance",
+    "influence_efficiency",
+    "influenced_keyword_coverage",
+    "internal_density",
+    "keyword_coverage",
+    "minimum_edge_support",
+    "minimum_internal_degree",
+    "quality_report",
+    "RankingAgreement",
+    "compare_rankings",
+    "coverage_gain_curve",
+    "influence_overlap_matrix",
+    "jaccard",
+    "seed_overlap_matrix",
+]

@@ -1,0 +1,172 @@
+"""Community quality metrics.
+
+The paper evaluates result *meaningfulness* (RQ3) qualitatively through the
+Figure 5 case study; downstream users typically also want quantitative
+quality measures for the communities a query returns.  This module provides
+the standard ones, computed against the parent social network:
+
+* structural cohesion — internal density, minimum internal degree, minimum
+  edge support, conductance of the community cut;
+* query relevance — keyword coverage of the community and of its influenced
+  users;
+* influence efficiency — influential score per seed member (the
+  coupons-per-user view used by the case-study bench).
+
+All functions accept a :class:`~repro.query.results.SeedCommunity` (or a raw
+vertex set) plus the graph, and return plain floats/dicts so the results are
+easy to tabulate with :func:`repro.workloads.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graph.social_network import SocialNetwork
+from repro.graph.subgraph import SubgraphView
+from repro.query.results import SeedCommunity
+from repro.truss.support import edge_support
+
+
+def _vertex_set(community) -> frozenset:
+    if isinstance(community, SeedCommunity):
+        return community.vertices
+    return frozenset(community)
+
+
+def internal_density(graph: SocialNetwork, community) -> float:
+    """Return the edge density of the community's induced subgraph (0..1)."""
+    vertices = _vertex_set(community)
+    size = len(vertices)
+    if size < 2:
+        return 0.0
+    view = SubgraphView(graph, vertices)
+    possible = size * (size - 1) / 2
+    return view.num_edges() / possible
+
+
+def minimum_internal_degree(graph: SocialNetwork, community) -> int:
+    """Return the smallest degree of a member inside the community."""
+    vertices = _vertex_set(community)
+    if not vertices:
+        return 0
+    view = SubgraphView(graph, vertices)
+    return min(view.degree(v) for v in vertices)
+
+
+def minimum_edge_support(graph: SocialNetwork, community) -> int:
+    """Return the smallest edge support inside the community.
+
+    For a community satisfying the k-truss constraint this is at least
+    ``k - 2`` over the edges of the spanning truss; measured here over *all*
+    induced edges, it quantifies how far the community is from a clique.
+    """
+    vertices = _vertex_set(community)
+    view = SubgraphView(graph, vertices)
+    supports = edge_support(view)
+    return min(supports.values(), default=0)
+
+
+def conductance(graph: SocialNetwork, community) -> float:
+    """Return the conductance of the community cut (lower = better separated).
+
+    Defined as ``cut / min(vol(S), vol(V - S))`` where ``cut`` counts edges
+    leaving the community and ``vol`` sums degrees.  Returns 0 for empty or
+    whole-graph communities.
+    """
+    vertices = _vertex_set(community)
+    if not vertices or len(vertices) >= graph.num_vertices():
+        return 0.0
+    cut = 0
+    volume_inside = 0
+    for vertex in vertices:
+        if not graph.has_vertex(vertex):
+            raise GraphError(f"community vertex {vertex!r} is not in the graph")
+        volume_inside += graph.degree(vertex)
+        cut += sum(1 for neighbour in graph.neighbors(vertex) if neighbour not in vertices)
+    volume_outside = 2 * graph.num_edges() - volume_inside
+    denominator = min(volume_inside, volume_outside)
+    if denominator == 0:
+        return 0.0
+    return cut / denominator
+
+
+def keyword_coverage(graph: SocialNetwork, community, keywords: Iterable[str]) -> float:
+    """Return the fraction of community members carrying at least one query keyword."""
+    vertices = _vertex_set(community)
+    if not vertices:
+        return 0.0
+    query = frozenset(keywords)
+    matching = sum(1 for vertex in vertices if graph.keywords(vertex) & query)
+    return matching / len(vertices)
+
+
+def influenced_keyword_coverage(
+    graph: SocialNetwork, community: SeedCommunity, keywords: Iterable[str]
+) -> float:
+    """Return the fraction of *influenced* users carrying a query keyword.
+
+    Useful for judging whether the influence lands on users plausibly
+    interested in the promoted topics; requires a scored
+    :class:`SeedCommunity` (the influenced community is part of it).
+    """
+    query = frozenset(keywords)
+    influenced = community.influenced.influenced_only
+    if not influenced:
+        return 0.0
+    matching = sum(1 for vertex in influenced if graph.keywords(vertex) & query)
+    return matching / len(influenced)
+
+
+def influence_efficiency(community: SeedCommunity) -> float:
+    """Return the influential score per seed member (``sigma(g) / |V(g)|``)."""
+    if not len(community):
+        return 0.0
+    return community.score / len(community)
+
+
+@dataclass(frozen=True)
+class CommunityQualityReport:
+    """All quality metrics of one community, bundled for tabular reporting."""
+
+    center: object
+    size: int
+    score: float
+    density: float
+    min_internal_degree: int
+    min_edge_support: int
+    conductance: float
+    keyword_coverage: float
+    influence_efficiency: float
+
+    def as_row(self) -> dict:
+        """Return a flat dict for :func:`repro.workloads.reporting.format_table`."""
+        return {
+            "center": self.center,
+            "size": self.size,
+            "score": round(self.score, 3),
+            "density": round(self.density, 3),
+            "min_deg": self.min_internal_degree,
+            "min_sup": self.min_edge_support,
+            "conductance": round(self.conductance, 3),
+            "kw_coverage": round(self.keyword_coverage, 3),
+            "score_per_member": round(self.influence_efficiency, 3),
+        }
+
+
+def quality_report(
+    graph: SocialNetwork, community: SeedCommunity, keywords: Iterable[str]
+) -> CommunityQualityReport:
+    """Compute every quality metric for one scored community."""
+    return CommunityQualityReport(
+        center=community.center,
+        size=len(community),
+        score=community.score,
+        density=internal_density(graph, community),
+        min_internal_degree=minimum_internal_degree(graph, community),
+        min_edge_support=minimum_edge_support(graph, community),
+        conductance=conductance(graph, community),
+        keyword_coverage=keyword_coverage(graph, community, keywords),
+        influence_efficiency=influence_efficiency(community),
+    )

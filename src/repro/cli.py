@@ -1,0 +1,265 @@
+"""Command-line interface for the TopL-ICDE / DTopL-ICDE library.
+
+The CLI wires the library's pieces together for shell usage::
+
+    repro generate --dataset uni --vertices 500 --out graph.json
+    repro stats graph.json
+    repro build-index graph.json --out graph.index.json
+    repro topl graph.json --keywords movies,books --k 3 --radius 2 --theta 0.2 --top-l 3
+    repro dtopl graph.json --keywords movies,books --top-l 3 --candidate-factor 3
+    repro sweep graph.json --parameter theta
+
+Every subcommand is also callable programmatically through :func:`main`,
+which accepts an ``argv`` list and returns a process exit code — that is how
+the test-suite exercises it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.exceptions import ReproError
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.io import load_graph_json, save_graph_json, write_edge_list
+from repro.graph.statistics import compute_statistics
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.reporting import format_table
+from repro.workloads.sweeps import PAPER_PARAMETER_GRID
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for documentation tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-L most influential community detection over social networks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a dataset and save it")
+    generate.add_argument("--dataset", choices=dataset_names(), default="uni")
+    generate.add_argument("--vertices", type=int, default=1000)
+    generate.add_argument("--keywords-per-vertex", type=int, default=3)
+    generate.add_argument("--keyword-domain", type=int, default=50)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output JSON path")
+    generate.add_argument(
+        "--edge-list", default=None, help="optionally also write a tab-separated edge list"
+    )
+
+    stats = subparsers.add_parser("stats", help="print Table-II style statistics of a graph")
+    stats.add_argument("graph", help="graph JSON produced by `repro generate`")
+
+    build_index = subparsers.add_parser(
+        "build-index", help="run the offline phase and save the index"
+    )
+    build_index.add_argument("graph")
+    build_index.add_argument("--out", required=True, help="output index JSON path")
+    build_index.add_argument("--max-radius", type=int, default=3)
+    build_index.add_argument(
+        "--thresholds", default="0.1,0.2,0.3", help="comma-separated pre-selected thresholds"
+    )
+    build_index.add_argument("--fanout", type=int, default=8)
+    build_index.add_argument("--leaf-capacity", type=int, default=16)
+
+    topl = subparsers.add_parser("topl", help="answer a TopL-ICDE query")
+    _add_query_arguments(topl)
+
+    dtopl = subparsers.add_parser("dtopl", help="answer a DTopL-ICDE query")
+    _add_query_arguments(dtopl)
+    dtopl.add_argument("--candidate-factor", type=int, default=3)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a Table-III parameter sweep and print one row per setting"
+    )
+    sweep.add_argument("graph")
+    sweep.add_argument(
+        "--parameter",
+        default="theta",
+        choices=["theta", "num_query_keywords", "k", "radius", "top_l"],
+    )
+    sweep.add_argument("--index", default=None, help="optional pre-built index JSON")
+    sweep.add_argument("--seed", type=int, default=97)
+
+    return parser
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph")
+    parser.add_argument("--index", default=None, help="optional pre-built index JSON")
+    parser.add_argument(
+        "--keywords",
+        default=None,
+        help="comma-separated query keywords; sampled from the graph's domain when omitted",
+    )
+    parser.add_argument("--num-keywords", type=int, default=5,
+                        help="number of keywords to sample when --keywords is omitted")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--radius", type=int, default=2)
+    parser.add_argument("--theta", type=float, default=0.2)
+    parser.add_argument("--top-l", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=97, help="keyword sampling seed")
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(
+        args.dataset,
+        num_vertices=args.vertices,
+        keywords_per_vertex=args.keywords_per_vertex,
+        domain_size=args.keyword_domain,
+        rng=args.seed,
+    )
+    save_graph_json(graph, args.out)
+    if args.edge_list:
+        write_edge_list(graph, args.edge_list)
+    print(
+        f"wrote {graph.name}: |V| = {graph.num_vertices()}, |E| = {graph.num_edges()} "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    row = compute_statistics(graph).as_row()
+    print(format_table([row], title="graph statistics"))
+    return 0
+
+
+def _command_build_index(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    thresholds = tuple(float(token) for token in args.thresholds.split(",") if token)
+    config = EngineConfig(
+        max_radius=args.max_radius,
+        thresholds=thresholds,
+        fanout=args.fanout,
+        leaf_capacity=args.leaf_capacity,
+    )
+    started = time.perf_counter()
+    engine = InfluentialCommunityEngine.build(graph, config=config)
+    engine.save_index(args.out)
+    elapsed = time.perf_counter() - started
+    print(f"offline phase finished in {elapsed:.2f}s; index: {engine.index.describe()}")
+    print(f"index saved to {args.out}")
+    return 0
+
+
+def _load_engine(args: argparse.Namespace) -> InfluentialCommunityEngine:
+    graph = load_graph_json(args.graph)
+    if args.index:
+        return InfluentialCommunityEngine.from_saved_index(graph, args.index)
+    config = EngineConfig(max_radius=max(args.radius, 1)) if hasattr(args, "radius") else None
+    return InfluentialCommunityEngine.build(graph, config=config)
+
+
+def _query_keywords(args: argparse.Namespace, engine: InfluentialCommunityEngine) -> frozenset:
+    if args.keywords:
+        return frozenset(token.strip() for token in args.keywords.split(",") if token.strip())
+    workload = QueryWorkload(engine.graph, rng=args.seed)
+    return workload.sample_keywords(args.num_keywords)
+
+
+def _command_topl(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    keywords = _query_keywords(args, engine)
+    query = make_topl_query(
+        keywords, k=args.k, radius=args.radius, theta=args.theta, top_l=args.top_l
+    )
+    started = time.perf_counter()
+    result = engine.topl(query)
+    elapsed = time.perf_counter() - started
+    print(f"query keywords: {', '.join(sorted(keywords))}")
+    print(
+        f"answered in {elapsed * 1000:.1f} ms — {len(result)} communities, "
+        f"{result.statistics.total_pruned} candidates pruned"
+    )
+    print(format_table(result.summary_rows(), title="top-L most influential communities"))
+    return 0
+
+
+def _command_dtopl(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    keywords = _query_keywords(args, engine)
+    query = make_dtopl_query(
+        keywords,
+        k=args.k,
+        radius=args.radius,
+        theta=args.theta,
+        top_l=args.top_l,
+        candidate_factor=args.candidate_factor,
+    )
+    started = time.perf_counter()
+    result = engine.dtopl(query)
+    elapsed = time.perf_counter() - started
+    print(f"query keywords: {', '.join(sorted(keywords))}")
+    print(
+        f"answered in {elapsed * 1000:.1f} ms — diversity score {result.diversity_score:.2f}, "
+        f"{result.increment_evaluations} marginal-gain evaluations"
+    )
+    print(format_table(result.summary_rows(), title="diversified top-L communities"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    if args.index:
+        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
+    else:
+        engine = InfluentialCommunityEngine.build(graph)
+    workload = QueryWorkload(graph, rng=args.seed)
+    rows = []
+    for setting in PAPER_PARAMETER_GRID.sweep(args.parameter):
+        radius = min(setting["radius"], engine.index.max_radius)
+        query = workload.topl_query(
+            num_keywords=setting["num_query_keywords"],
+            k=setting["k"],
+            radius=radius,
+            theta=setting["theta"],
+            top_l=setting["top_l"],
+        )
+        started = time.perf_counter()
+        result = engine.topl(query)
+        rows.append(
+            {
+                args.parameter: setting["swept_value"],
+                "wall_clock_s": round(time.perf_counter() - started, 4),
+                "communities": len(result),
+                "pruned": result.statistics.total_pruned,
+            }
+        )
+    print(format_table(rows, title=f"sweep over {args.parameter}"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "stats": _command_stats,
+    "build-index": _command_build_index,
+    "topl": _command_topl,
+    "dtopl": _command_dtopl,
+    "sweep": _command_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through `main` in tests
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""High-level facade: engine and configuration."""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+
+__all__ = ["EngineConfig", "InfluentialCommunityEngine"]

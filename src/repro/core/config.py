@@ -1,0 +1,75 @@
+"""Engine configuration.
+
+Bundles the offline-phase parameters (``r_max``, pre-selected thresholds,
+bit-vector width, index fanout / leaf capacity) so the engine, benches and
+examples all agree on one configuration object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryParameterError
+from repro.index.precompute import DEFAULT_MAX_RADIUS, DEFAULT_THRESHOLDS
+from repro.index.tree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY
+from repro.keywords.bitvector import DEFAULT_NUM_BITS
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Offline-phase configuration of the influential-community engine.
+
+    Attributes
+    ----------
+    max_radius:
+        ``r_max``: the largest query radius the index will support.
+    thresholds:
+        Pre-selected influence thresholds ``theta_1 < ... < theta_m`` used for
+        the pre-computed score upper bounds.
+    num_bits:
+        Width of the keyword bit vectors.
+    fanout:
+        Fanout ``gamma`` of non-leaf index nodes.
+    leaf_capacity:
+        Number of vertices per leaf node.
+    """
+
+    max_radius: int = DEFAULT_MAX_RADIUS
+    thresholds: tuple[float, ...] = field(default_factory=lambda: tuple(DEFAULT_THRESHOLDS))
+    num_bits: int = DEFAULT_NUM_BITS
+    fanout: int = DEFAULT_FANOUT
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.max_radius < 1:
+            raise QueryParameterError(f"max_radius must be >= 1, got {self.max_radius}")
+        ordered = tuple(sorted(set(float(t) for t in self.thresholds)))
+        if not ordered:
+            raise QueryParameterError("at least one pre-selected threshold is required")
+        for theta in ordered:
+            if not 0.0 <= theta < 1.0:
+                raise QueryParameterError(
+                    f"pre-selected thresholds must be in [0, 1), got {theta}"
+                )
+        object.__setattr__(self, "thresholds", ordered)
+        if self.num_bits < 1:
+            raise QueryParameterError(f"num_bits must be >= 1, got {self.num_bits}")
+        if self.fanout < 2:
+            raise QueryParameterError(f"fanout must be >= 2, got {self.fanout}")
+        if self.leaf_capacity < 1:
+            raise QueryParameterError(f"leaf_capacity must be >= 1, got {self.leaf_capacity}")
+
+    @classmethod
+    def paper_defaults(cls) -> "EngineConfig":
+        """The configuration matching Table III's defaults."""
+        return cls()
+
+    def describe(self) -> dict:
+        """Return a flat dict of the configuration (used in reports)."""
+        return {
+            "r_max": self.max_radius,
+            "thresholds": list(self.thresholds),
+            "B": self.num_bits,
+            "fanout": self.fanout,
+            "leaf_capacity": self.leaf_capacity,
+        }

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate *which*
+subsystem rejected the input: graph construction, query parameters, index
+state, or dataset loading.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph operation receives structurally invalid input."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class InvalidProbabilityError(GraphError):
+    """Raised when an edge propagation probability is outside ``[0, 1]``."""
+
+    def __init__(self, value: float) -> None:
+        super().__init__(f"propagation probability must be in [0, 1], got {value!r}")
+        self.value = value
+
+
+class QueryParameterError(ReproError):
+    """Raised when TopL-ICDE / DTopL-ICDE query parameters are invalid."""
+
+
+class IndexError_(ReproError):
+    """Raised when the tree index is queried in an inconsistent state.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`; exported as ``IndexStateError`` from the package root.
+    """
+
+
+IndexStateError = IndexError_
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, loaded, or parsed."""
+
+
+class SerializationError(ReproError):
+    """Raised when an index or graph cannot be serialised or deserialised."""

@@ -1,0 +1,196 @@
+"""Graph input/output: edge lists, JSON documents, and networkx conversion.
+
+Two on-disk formats are supported:
+
+* **Edge list** — the format used by SNAP dumps of the paper's real datasets
+  (DBLP, Amazon): one ``u<TAB>v`` pair per line, ``#`` comments ignored.
+  Keyword sets and probabilities are not part of the format and must be
+  assigned afterwards (see :mod:`repro.graph.keyword_assignment` and
+  :func:`repro.graph.generators.assign_uniform_weights`).
+* **JSON document** — a self-contained serialisation including keyword sets
+  and both directional probabilities, used to persist generated datasets and
+  to round-trip graphs in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import DatasetError, SerializationError
+from repro.graph.social_network import SocialNetwork
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# edge lists
+# --------------------------------------------------------------------------- #
+def read_edge_list(
+    path: PathLike,
+    default_probability: float = 0.5,
+    name: str = "edge-list",
+) -> SocialNetwork:
+    """Load a SNAP-style edge list into a :class:`SocialNetwork`.
+
+    Vertices are parsed as integers when possible, otherwise kept as strings.
+    Every edge receives ``default_probability`` in both directions.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list file not found: {path}")
+    graph = SocialNetwork(name=name)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected at least two columns, got {stripped!r}"
+                )
+            u, v = (_parse_vertex(parts[0]), _parse_vertex(parts[1]))
+            if u == v:
+                continue
+            probability = default_probability
+            if len(parts) >= 3:
+                try:
+                    probability = float(parts[2])
+                except ValueError as exc:
+                    raise DatasetError(
+                        f"{path}:{line_number}: invalid probability {parts[2]!r}"
+                    ) from exc
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, probability, probability)
+    return graph
+
+
+def write_edge_list(graph: SocialNetwork, path: PathLike) -> None:
+    """Write the structural edges of ``graph`` as a tab-separated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# edge list for {graph.name}\n")
+        handle.write(f"# |V|={graph.num_vertices()} |E|={graph.num_edges()}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\t{graph.probability(u, v):.6f}\n")
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# --------------------------------------------------------------------------- #
+# JSON documents
+# --------------------------------------------------------------------------- #
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: SocialNetwork) -> dict:
+    """Serialise ``graph`` into a JSON-compatible dict."""
+    vertices = [
+        {"id": vertex, "keywords": sorted(graph.keywords(vertex))}
+        for vertex in graph.vertices()
+    ]
+    edges = [
+        {
+            "u": u,
+            "v": v,
+            "p_uv": graph.probability(u, v),
+            "p_vu": graph.probability(v, u),
+        }
+        for u, v in graph.edges()
+    ]
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "vertices": vertices,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(payload: dict) -> SocialNetwork:
+    """Deserialise a graph produced by :func:`graph_to_dict`."""
+    try:
+        version = payload["format_version"]
+        if version != _FORMAT_VERSION:
+            raise SerializationError(f"unsupported graph format version {version}")
+        graph = SocialNetwork(name=payload.get("name", "graph"))
+        for vertex in payload["vertices"]:
+            graph.add_vertex(vertex["id"], vertex.get("keywords", ()))
+        for edge in payload["edges"]:
+            graph.add_edge(edge["u"], edge["v"], edge["p_uv"], edge.get("p_vu"))
+    except SerializationError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed graph document: {exc}") from exc
+    return graph
+
+
+def save_graph_json(graph: SocialNetwork, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as a JSON document."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load_graph_json(path: PathLike) -> SocialNetwork:
+    """Load a graph JSON document written by :func:`save_graph_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"graph file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return graph_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# networkx interoperability (optional dependency)
+# --------------------------------------------------------------------------- #
+def to_networkx(graph: SocialNetwork):
+    """Convert to a ``networkx.DiGraph`` (both directions, ``weight`` = probability).
+
+    Raises
+    ------
+    SerializationError
+        If networkx is not installed.
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise SerializationError("networkx is not installed") from exc
+    digraph = nx.DiGraph(name=graph.name)
+    for vertex in graph.vertices():
+        digraph.add_node(vertex, keywords=set(graph.keywords(vertex)))
+    for u, v in graph.edges():
+        digraph.add_edge(u, v, weight=graph.probability(u, v))
+        digraph.add_edge(v, u, weight=graph.probability(v, u))
+    return digraph
+
+
+def from_networkx(nx_graph, default_probability: float = 0.5) -> SocialNetwork:
+    """Convert a networkx (di)graph into a :class:`SocialNetwork`.
+
+    Node attribute ``keywords`` (any iterable of strings) is preserved; edge
+    attribute ``weight`` is used as the directional probability when present.
+    """
+    graph = SocialNetwork(name=getattr(nx_graph, "name", "networkx-import") or "networkx-import")
+    for node, data in nx_graph.nodes(data=True):
+        graph.add_vertex(node, data.get("keywords", ()))
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        weight = float(data.get("weight", default_probability))
+        if graph.has_edge(u, v):
+            graph.set_probability(u, v, weight)
+        elif directed:
+            reverse = nx_graph.get_edge_data(v, u) or {}
+            graph.add_edge(u, v, weight, float(reverse.get("weight", weight)))
+        else:
+            graph.add_edge(u, v, weight, weight)
+    return graph

@@ -1,0 +1,157 @@
+"""Lightweight subgraph views over a :class:`~repro.graph.social_network.SocialNetwork`.
+
+Seed communities, r-hop neighbourhoods and influenced communities are all
+*subsets of vertices* of the parent network.  Materialising a fresh
+:class:`SocialNetwork` for every candidate would dominate query time, so the
+query layer works with :class:`SubgraphView`: a frozen vertex subset plus a
+reference to the parent graph, with adjacency restricted on the fly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.social_network import SocialNetwork, VertexId
+
+
+class SubgraphView:
+    """A read-only view of a vertex-induced subgraph.
+
+    Parameters
+    ----------
+    parent:
+        The parent social network.
+    vertices:
+        The vertices of the view.  Vertices missing from the parent raise
+        :class:`~repro.exceptions.VertexNotFoundError`.
+    center:
+        Optional distinguished centre vertex (the query vertex ``v_q`` for
+        seed communities and r-hop subgraphs).
+    """
+
+    __slots__ = ("parent", "_vertices", "center")
+
+    def __init__(
+        self,
+        parent: SocialNetwork,
+        vertices: Iterable[VertexId],
+        center: Optional[VertexId] = None,
+    ) -> None:
+        vertex_set = frozenset(vertices)
+        for v in vertex_set:
+            if not parent.has_vertex(v):
+                raise VertexNotFoundError(v)
+        if center is not None and center not in vertex_set:
+            raise VertexNotFoundError(center)
+        self.parent = parent
+        self._vertices = vertex_set
+        self.center = center
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubgraphView):
+            return NotImplemented
+        return self.parent is other.parent and self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash((id(self.parent), self._vertices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubgraphView(|V|={len(self._vertices)}, center={self.center!r})"
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> frozenset:
+        """The frozen vertex set of the view."""
+        return self._vertices
+
+    def neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        """Iterate over neighbours of ``vertex`` restricted to the view."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        for w in self.parent.neighbors(vertex):
+            if w in self._vertices:
+                yield w
+
+    def degree(self, vertex: VertexId) -> int:
+        """Return the degree of ``vertex`` within the view."""
+        return sum(1 for _ in self.neighbors(vertex))
+
+    def edges(self) -> Iterator[tuple[VertexId, VertexId]]:
+        """Iterate over edges with both endpoints inside the view."""
+        emitted: set[frozenset] = set()
+        for u in self._vertices:
+            for v in self.parent.neighbors(u):
+                if v in self._vertices:
+                    key = frozenset((u, v))
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield (u, v)
+
+    def num_edges(self) -> int:
+        """Return the number of edges inside the view."""
+        return sum(1 for _ in self.edges())
+
+    def keywords(self, vertex: VertexId) -> frozenset:
+        """Return the keyword set of ``vertex`` (delegates to the parent)."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return self.parent.keywords(vertex)
+
+    def probability(self, u: VertexId, v: VertexId) -> float:
+        """Return ``p_{u,v}`` from the parent graph."""
+        return self.parent.probability(u, v)
+
+    # ------------------------------------------------------------------ #
+    # connectivity & derived views
+    # ------------------------------------------------------------------ #
+    def is_connected(self) -> bool:
+        """Return ``True`` if the view is connected (empty views count as connected)."""
+        if not self._vertices:
+            return True
+        start = self.center if self.center is not None else next(iter(self._vertices))
+        return len(self.component_of(start)) == len(self._vertices)
+
+    def component_of(self, vertex: VertexId) -> set:
+        """Return the connected component of ``vertex`` within the view."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        component = {vertex}
+        frontier = [vertex]
+        adjacency = self.parent.adjacency()
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour in self._vertices and neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        return component
+
+    def restrict(self, vertices: Iterable[VertexId]) -> "SubgraphView":
+        """Return a new view restricted to ``vertices`` intersected with this view.
+
+        The centre is preserved when it survives the restriction, dropped
+        otherwise.
+        """
+        new_vertices = self._vertices & frozenset(vertices)
+        center = self.center if self.center in new_vertices else None
+        return SubgraphView(self.parent, new_vertices, center=center)
+
+    def materialize(self, name: str = "subgraph") -> SocialNetwork:
+        """Copy the view into a standalone :class:`SocialNetwork`."""
+        return self.parent.induced_subgraph(self._vertices, name=name)

@@ -1,0 +1,102 @@
+"""Structural validation of social networks.
+
+The query layer assumes some basic invariants (no self-loops, probabilities in
+``[0, 1]``, symmetric structural adjacency, both directions of every edge
+present in the probability map).  :func:`validate_graph` checks them all and
+either raises or returns a report, and is used by dataset loaders before an
+index is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphError
+from repro.graph.social_network import SocialNetwork
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` when no issues were found."""
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        self.issues.append(message)
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`GraphError` summarising all issues, if any."""
+        if self.issues:
+            raise GraphError("; ".join(self.issues))
+
+
+def validate_graph(graph: SocialNetwork, strict: bool = False) -> ValidationReport:
+    """Validate the structural invariants of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The network to check.
+    strict:
+        When ``True`` the function raises on the first report instead of
+        returning it.
+    """
+    report = ValidationReport()
+    adjacency = graph.adjacency()
+
+    for u, neighbours in adjacency.items():
+        if u in neighbours:
+            report.add(f"self-loop at vertex {u!r}")
+        for v in neighbours:
+            if v not in adjacency:
+                report.add(f"edge ({u!r}, {v!r}) references unknown vertex {v!r}")
+                continue
+            if u not in adjacency[v]:
+                report.add(f"asymmetric adjacency for edge ({u!r}, {v!r})")
+
+    for u, v in graph.edges():
+        for a, b in ((u, v), (v, u)):
+            try:
+                probability = graph.probability(a, b)
+            except GraphError:
+                report.add(f"missing probability for direction ({a!r} -> {b!r})")
+                continue
+            if not 0.0 <= probability <= 1.0:
+                report.add(
+                    f"probability {probability!r} out of range for ({a!r} -> {b!r})"
+                )
+
+    if strict:
+        report.raise_if_invalid()
+    return report
+
+
+def require_connected(graph: SocialNetwork) -> None:
+    """Raise :class:`GraphError` if ``graph`` is not connected.
+
+    Definition 1 models ``G`` as a connected graph; generators generally
+    produce connected outputs, but loaded edge lists may not be.
+    """
+    if not graph.is_connected():
+        components = graph.connected_components()
+        raise GraphError(
+            f"graph {graph.name!r} is not connected: "
+            f"{len(components)} components, largest has {len(components[0])} vertices"
+        )
+
+
+def largest_connected_component(graph: SocialNetwork) -> SocialNetwork:
+    """Return the induced subgraph of the largest connected component.
+
+    Loaders use this to satisfy the connectivity assumption when a raw edge
+    list contains stragglers.
+    """
+    components = graph.connected_components()
+    if not components:
+        return graph.copy()
+    return graph.induced_subgraph(components[0], name=f"{graph.name}-lcc")

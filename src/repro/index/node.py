@@ -1,0 +1,171 @@
+"""Tree-index node structures (Section V-B).
+
+The index ``I`` is a balanced tree over the graph's vertices.  Leaf nodes hold
+vertices together with their pre-computed records ``v_i.R``; non-leaf nodes
+hold child entries whose aggregates are the element-wise combination of the
+children:
+
+* aggregated keyword bit vector — OR of the children's vectors;
+* maximum edge-support upper bound — max of the children's bounds;
+* per-threshold maximum influential score upper bound — max of the children's
+  bounds per ``theta_z``.
+
+The same :class:`EntryAggregates` structure describes both a leaf vertex and a
+non-leaf entry, which keeps the pruning code uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.index.precompute import RadiusAggregates, VertexAggregates
+from repro.keywords.bitvector import BitVector
+
+
+@dataclass(frozen=True)
+class EntryAggregates:
+    """Aggregates of an index entry for every pre-computed radius.
+
+    ``trussness_bound`` is the maximum centre-vertex trussness over every
+    vertex below the entry — an entry whose bound is below the query's ``k``
+    cannot contain any valid candidate centre (index-level form of the
+    tightened support pruning).
+    """
+
+    per_radius: dict  # radius -> RadiusAggregates
+    trussness_bound: int = 2
+
+    def bitvector(self, radius: int) -> BitVector:
+        """Aggregated keyword signature for ``radius``."""
+        return self.per_radius[radius].bitvector
+
+    def support_bound(self, radius: int) -> int:
+        """Maximum edge-support upper bound for ``radius``."""
+        return self.per_radius[radius].support_upper_bound
+
+    def score_bounds(self, radius: int) -> tuple:
+        """``(theta_z, sigma_z)`` pairs for ``radius``."""
+        return self.per_radius[radius].score_bounds
+
+    def score_bound_for(self, radius: int, theta: float) -> float:
+        """Applicable score bound for an online threshold ``theta``."""
+        return self.per_radius[radius].score_bound_for(theta)
+
+    @classmethod
+    def from_vertex(cls, aggregates: VertexAggregates) -> "EntryAggregates":
+        """Wrap the pre-computed record of a single vertex."""
+        return cls(
+            per_radius=dict(aggregates.per_radius),
+            trussness_bound=aggregates.center_trussness,
+        )
+
+    @classmethod
+    def combine(cls, entries: list["EntryAggregates"]) -> "EntryAggregates":
+        """Combine child aggregates into a parent entry (OR / max / max)."""
+        if not entries:
+            raise ValueError("cannot combine an empty list of entries")
+        radii = sorted(entries[0].per_radius)
+        combined: dict[int, RadiusAggregates] = {}
+        for radius in radii:
+            bitvector = entries[0].per_radius[radius].bitvector
+            support_bound = 0
+            thresholds = [theta for theta, _ in entries[0].per_radius[radius].score_bounds]
+            best_scores = {theta: 0.0 for theta in thresholds}
+            for entry in entries:
+                radius_aggregates = entry.per_radius[radius]
+                bitvector = bitvector | radius_aggregates.bitvector
+                if radius_aggregates.support_upper_bound > support_bound:
+                    support_bound = radius_aggregates.support_upper_bound
+                for theta, sigma in radius_aggregates.score_bounds:
+                    if sigma > best_scores.get(theta, 0.0):
+                        best_scores[theta] = sigma
+            combined[radius] = RadiusAggregates(
+                radius=radius,
+                bitvector=bitvector,
+                support_upper_bound=support_bound,
+                score_bounds=tuple((theta, best_scores[theta]) for theta in thresholds),
+            )
+        trussness_bound = max(entry.trussness_bound for entry in entries)
+        return cls(per_radius=combined, trussness_bound=trussness_bound)
+
+
+@dataclass
+class IndexNode:
+    """A node of the tree index.
+
+    A node is a *leaf* when it holds vertices directly (``vertices`` is
+    non-empty and ``children`` empty), and a *non-leaf* otherwise.  Both kinds
+    carry :class:`EntryAggregates` summarising everything below them.
+    """
+
+    aggregates: EntryAggregates
+    vertices: tuple = ()
+    children: tuple = ()
+    node_id: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` for leaf nodes."""
+        return not self.children
+
+    def subtree_vertices(self) -> list:
+        """Return every vertex stored in this subtree (used by tests/serialisation)."""
+        if self.is_leaf:
+            return list(self.vertices)
+        collected: list = []
+        for child in self.children:
+            collected.extend(child.subtree_vertices())
+        return collected
+
+    def subtree_size(self) -> int:
+        """Number of vertices stored in the subtree."""
+        if self.is_leaf:
+            return len(self.vertices)
+        return sum(child.subtree_size() for child in self.children)
+
+    def height(self) -> int:
+        """Height of the subtree (leaves have height 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def count_nodes(self) -> int:
+        """Total number of nodes in the subtree, including this one."""
+        if self.is_leaf:
+            return 1
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+
+@dataclass
+class LeafVertexEntry:
+    """A vertex stored in a leaf node together with its pre-computed record."""
+
+    vertex: object
+    aggregates: VertexAggregates
+    entry: EntryAggregates = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.entry = EntryAggregates.from_vertex(self.aggregates)
+
+
+def make_leaf(entries: list[LeafVertexEntry], node_id: int) -> IndexNode:
+    """Build a leaf node from vertex entries."""
+    aggregates = EntryAggregates.combine([entry.entry for entry in entries])
+    return IndexNode(
+        aggregates=aggregates,
+        vertices=tuple(entry.vertex for entry in entries),
+        children=(),
+        node_id=node_id,
+    )
+
+
+def make_internal(children: list[IndexNode], node_id: int) -> IndexNode:
+    """Build a non-leaf node from child nodes."""
+    aggregates = EntryAggregates.combine([child.aggregates for child in children])
+    return IndexNode(
+        aggregates=aggregates,
+        vertices=(),
+        children=tuple(children),
+        node_id=node_id,
+    )

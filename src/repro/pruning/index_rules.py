@@ -1,0 +1,65 @@
+"""Index-level pruning rules (Lemmas 5–7).
+
+A non-leaf index entry ``N_i`` aggregates, per radius ``r``, the keyword
+signatures, support upper bounds and pre-computed score bounds of every vertex
+under it.  A pruned entry discards its entire subtree, which is where the
+index traversal gets its speed-up.
+
+Every function takes the entry's aggregate values rather than the entry
+object itself, so the rules are unit-testable without building an index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.keywords.bitvector import BitVector
+from repro.pruning.rules import select_score_bound
+
+
+def index_keyword_prune(entry_bv: BitVector, query_bv: BitVector) -> bool:
+    """Lemma 5: prune an entry whose aggregated signature misses every query bit.
+
+    ``entry_bv`` is the OR of the r-hop signatures of every vertex under the
+    entry; a zero AND with ``Q.BV`` proves no subtree vertex can contribute a
+    keyword-qualified community.
+    """
+    return not entry_bv.intersects(query_bv)
+
+
+def index_support_prune(entry_support_bound: int, k: int) -> bool:
+    """Lemma 6: prune an entry whose maximum support bound is below ``k - 2``.
+
+    The paper states the comparison as ``N_i.ub_sup_r < k``; since
+    ``ub_sup_r`` bounds edge supports and a k-truss needs support ``k - 2``,
+    the safe (and tighter-to-correctness) comparison is against ``k - 2``,
+    which is what we use.
+    """
+    return entry_support_bound < k - 2
+
+
+def index_score_prune(
+    entry_threshold_bounds: Iterable[tuple[float, float]],
+    theta: float,
+    current_lth_score: float,
+) -> bool:
+    """Lemma 7: prune an entry whose score bound cannot beat the current L-th score.
+
+    ``entry_threshold_bounds`` are the aggregated ``(theta_z, max sigma_z)``
+    pairs of the entry; the applicable bound for the online ``theta`` is
+    selected exactly like at the community level.
+    """
+    bound = select_score_bound(entry_threshold_bounds, theta)
+    return bound <= current_lth_score
+
+
+def entry_priority(
+    entry_threshold_bounds: Iterable[tuple[float, float]], theta: float
+) -> float:
+    """Return the heap key of an index entry (its applicable score bound).
+
+    Algorithm 3 visits entries in decreasing order of their influential score
+    upper bound so that promising subtrees are explored first and the global
+    termination test (``key <= sigma_L``) fires as early as possible.
+    """
+    return select_score_bound(entry_threshold_bounds, theta)

@@ -1,0 +1,123 @@
+"""Pruning configuration and statistics.
+
+The ablation study (Figure 4) runs the online algorithm with different pruning
+combinations — keyword only, keyword + support, keyword + support + score —
+and reports both the number of pruned candidate communities and the wall-clock
+time.  :class:`PruningConfig` toggles the individual rules and
+:class:`PruningCounters` accumulates per-rule counts, which the query layer
+exposes through :class:`repro.query.results.QueryStatistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which pruning rules are active.
+
+    The defaults enable everything (the full method of the paper).  Radius
+    pruning is structural — it limits the candidate subgraph to ``hop(v, r)``
+    — and is always applied; it has no toggle because disabling it would
+    change the problem definition, not just the optimisation.
+    """
+
+    keyword: bool = True
+    support: bool = True
+    score: bool = True
+
+    @classmethod
+    def all_enabled(cls) -> "PruningConfig":
+        """Full pruning stack (the paper's default method)."""
+        return cls(keyword=True, support=True, score=True)
+
+    @classmethod
+    def keyword_only(cls) -> "PruningConfig":
+        """Ablation level 1: keyword pruning only."""
+        return cls(keyword=True, support=False, score=False)
+
+    @classmethod
+    def keyword_and_support(cls) -> "PruningConfig":
+        """Ablation level 2: keyword + support pruning."""
+        return cls(keyword=True, support=True, score=False)
+
+    @classmethod
+    def none_enabled(cls) -> "PruningConfig":
+        """No optional pruning at all (used by brute-force comparisons)."""
+        return cls(keyword=False, support=False, score=False)
+
+    def label(self) -> str:
+        """Human-readable name used in ablation reports."""
+        parts = []
+        if self.keyword:
+            parts.append("keyword")
+        if self.support:
+            parts.append("support")
+        if self.score:
+            parts.append("score")
+        return " + ".join(parts) if parts else "no pruning"
+
+
+#: The three configurations of the Figure 4 ablation, in paper order.
+ABLATION_CONFIGS = (
+    PruningConfig.keyword_only(),
+    PruningConfig.keyword_and_support(),
+    PruningConfig.all_enabled(),
+)
+
+
+@dataclass
+class PruningCounters:
+    """Mutable per-query counters of pruned candidates, by rule."""
+
+    keyword: int = 0
+    support: int = 0
+    radius: int = 0
+    score: int = 0
+    index_keyword: int = 0
+    index_support: int = 0
+    index_score: int = 0
+    diversity: int = 0
+
+    @property
+    def community_level(self) -> int:
+        """Candidates pruned at the community (leaf) level."""
+        return self.keyword + self.support + self.radius + self.score
+
+    @property
+    def index_level(self) -> int:
+        """Index entries pruned before their subtrees were visited."""
+        return self.index_keyword + self.index_support + self.index_score
+
+    @property
+    def total(self) -> int:
+        """All pruned candidates/entries."""
+        return self.community_level + self.index_level + self.diversity
+
+    def merge(self, other: "PruningCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.keyword += other.keyword
+        self.support += other.support
+        self.radius += other.radius
+        self.score += other.score
+        self.index_keyword += other.index_keyword
+        self.index_support += other.index_support
+        self.index_score += other.index_score
+        self.diversity += other.diversity
+
+    def as_dict(self) -> dict:
+        """Return the counters as a flat dict."""
+        return {
+            "keyword": self.keyword,
+            "support": self.support,
+            "radius": self.radius,
+            "score": self.score,
+            "index_keyword": self.index_keyword,
+            "index_support": self.index_support,
+            "index_score": self.index_score,
+            "diversity": self.diversity,
+            "community_level": self.community_level,
+            "index_level": self.index_level,
+            "total": self.total,
+        }

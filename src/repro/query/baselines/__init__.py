@@ -1,0 +1,20 @@
+"""Baselines: ATindex, brute force, Greedy_WoP, Optimal, and the k-core comparator."""
+
+from repro.query.baselines.atindex import ATIndex, atindex_topl
+from repro.query.baselines.bruteforce import all_seed_communities, bruteforce_topl
+from repro.query.baselines.greedy_wop import greedy_without_pruning, greedy_wop_dtopl
+from repro.query.baselines.kcore_baseline import compare_with_kcore, kcore_community
+from repro.query.baselines.optimal import optimal_dtopl, optimal_selection
+
+__all__ = [
+    "ATIndex",
+    "atindex_topl",
+    "all_seed_communities",
+    "bruteforce_topl",
+    "greedy_without_pruning",
+    "greedy_wop_dtopl",
+    "compare_with_kcore",
+    "kcore_community",
+    "optimal_dtopl",
+    "optimal_selection",
+]

@@ -1,0 +1,177 @@
+"""Query parameter objects for TopL-ICDE and DTopL-ICDE.
+
+Definition 4 parameterises a TopL-ICDE query by the query keyword set ``Q``,
+the truss support ``k``, the maximum community radius ``r``, the influence
+threshold ``theta`` and the result size ``L``; DTopL-ICDE (Definition 5) adds
+the candidate multiplier ``n`` used by the greedy refinement.  Table III lists
+the values explored in the evaluation, with defaults in bold:
+
+==========================  =========================  =========
+parameter                   values                      default
+==========================  =========================  =========
+theta                       0.1, 0.2, 0.3               0.2
+|Q|                         2, 3, 5, 8, 10              5
+k                           3, 4, 5                     4
+r                           1, 2, 3                     2
+L                           2, 3, 5, 8, 10              5
+|v_i.W|                     1 .. 5                      3
+|Sigma|                     10, 20, 50, 80              50
+|V(G)|                      10K .. 1M                   25K
+n (DTopL)                   2, 3, 5, 8, 10              3
+==========================  =========================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import QueryParameterError
+
+#: Table III default parameter values (bold entries).
+DEFAULT_THETA = 0.2
+DEFAULT_QUERY_KEYWORDS = 5
+DEFAULT_TRUSS_K = 4
+DEFAULT_RADIUS = 2
+DEFAULT_RESULT_SIZE = 5
+DEFAULT_KEYWORDS_PER_VERTEX = 3
+DEFAULT_KEYWORD_DOMAIN = 50
+DEFAULT_CANDIDATE_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class TopLQuery:
+    """Parameters of a TopL-ICDE query (Definition 4).
+
+    Attributes
+    ----------
+    keywords:
+        The query keyword set ``Q``; a seed community vertex qualifies when
+        its keyword set intersects ``Q``.
+    k:
+        Truss support parameter (``k >= 2``).
+    radius:
+        Maximum seed-community radius ``r`` (``>= 1``).
+    theta:
+        Influence threshold ``theta`` in ``[0, 1)``.
+    top_l:
+        Number of seed communities to return (``L >= 1``).
+    """
+
+    keywords: frozenset = field(default_factory=frozenset)
+    k: int = DEFAULT_TRUSS_K
+    radius: int = DEFAULT_RADIUS
+    theta: float = DEFAULT_THETA
+    top_l: int = DEFAULT_RESULT_SIZE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keywords", frozenset(self.keywords))
+        if not self.keywords:
+            raise QueryParameterError("query keyword set Q must be non-empty")
+        if not all(isinstance(keyword, str) and keyword for keyword in self.keywords):
+            raise QueryParameterError("query keywords must be non-empty strings")
+        if self.k < 2:
+            raise QueryParameterError(f"truss parameter k must be >= 2, got {self.k}")
+        if self.radius < 1:
+            raise QueryParameterError(f"radius r must be >= 1, got {self.radius}")
+        if not 0.0 <= self.theta < 1.0:
+            raise QueryParameterError(
+                f"influence threshold theta must be in [0, 1), got {self.theta}"
+            )
+        if self.top_l < 1:
+            raise QueryParameterError(f"result size L must be >= 1, got {self.top_l}")
+
+    def with_overrides(self, **changes) -> "TopLQuery":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict:
+        """Return a flat dict of the parameters (used in reports)."""
+        return {
+            "|Q|": len(self.keywords),
+            "k": self.k,
+            "r": self.radius,
+            "theta": self.theta,
+            "L": self.top_l,
+        }
+
+
+@dataclass(frozen=True)
+class DTopLQuery:
+    """Parameters of a DTopL-ICDE query (Definition 5).
+
+    Wraps a :class:`TopLQuery` and adds the candidate multiplier ``n``: the
+    greedy refinement first collects the top-``n * L`` most influential
+    communities and then selects ``L`` of them maximising the diversity score.
+    """
+
+    base: TopLQuery
+    candidate_factor: int = DEFAULT_CANDIDATE_FACTOR
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, TopLQuery):
+            raise QueryParameterError("base must be a TopLQuery")
+        if self.candidate_factor < 1:
+            raise QueryParameterError(
+                f"candidate factor n must be >= 1, got {self.candidate_factor}"
+            )
+
+    @property
+    def keywords(self) -> frozenset:
+        return self.base.keywords
+
+    @property
+    def k(self) -> int:
+        return self.base.k
+
+    @property
+    def radius(self) -> int:
+        return self.base.radius
+
+    @property
+    def theta(self) -> float:
+        return self.base.theta
+
+    @property
+    def top_l(self) -> int:
+        return self.base.top_l
+
+    @property
+    def num_candidates(self) -> int:
+        """The number ``n * L`` of candidate communities to collect."""
+        return self.candidate_factor * self.base.top_l
+
+    def candidate_query(self) -> TopLQuery:
+        """Return the TopL-ICDE query that collects the ``n * L`` candidates."""
+        return self.base.with_overrides(top_l=self.num_candidates)
+
+    def describe(self) -> dict:
+        """Return a flat dict of the parameters (used in reports)."""
+        summary = self.base.describe()
+        summary["n"] = self.candidate_factor
+        return summary
+
+
+def make_topl_query(
+    keywords,
+    k: int = DEFAULT_TRUSS_K,
+    radius: int = DEFAULT_RADIUS,
+    theta: float = DEFAULT_THETA,
+    top_l: int = DEFAULT_RESULT_SIZE,
+) -> TopLQuery:
+    """Convenience constructor accepting any keyword iterable."""
+    return TopLQuery(
+        keywords=frozenset(keywords), k=k, radius=radius, theta=theta, top_l=top_l
+    )
+
+
+def make_dtopl_query(
+    keywords,
+    k: int = DEFAULT_TRUSS_K,
+    radius: int = DEFAULT_RADIUS,
+    theta: float = DEFAULT_THETA,
+    top_l: int = DEFAULT_RESULT_SIZE,
+    candidate_factor: int = DEFAULT_CANDIDATE_FACTOR,
+) -> DTopLQuery:
+    """Convenience constructor for DTopL-ICDE queries."""
+    base = make_topl_query(keywords, k=k, radius=radius, theta=theta, top_l=top_l)
+    return DTopLQuery(base=base, candidate_factor=candidate_factor)

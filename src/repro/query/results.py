@@ -1,0 +1,163 @@
+"""Result value objects returned by the query algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.influence.propagation import InfluencedCommunity
+
+
+@dataclass(frozen=True)
+class SeedCommunity:
+    """A seed community ``g`` together with its influence information.
+
+    Attributes
+    ----------
+    center:
+        The centre vertex ``v_q`` the community is built around.
+    vertices:
+        The community's vertex set ``V(g)``.
+    influenced:
+        The influenced community ``g_inf`` computed at the query threshold.
+    k:
+        The truss parameter the community satisfies.
+    radius:
+        The radius constraint the community satisfies.
+    """
+
+    center: object
+    vertices: frozenset
+    influenced: InfluencedCommunity
+    k: int
+    radius: int
+
+    @property
+    def score(self) -> float:
+        """The influential score ``sigma(g)``."""
+        return self.influenced.score
+
+    @property
+    def num_influenced(self) -> int:
+        """Size of the influenced community ``|V(g_inf)|``."""
+        return len(self.influenced)
+
+    @property
+    def num_influenced_outside(self) -> int:
+        """Number of influenced vertices outside the seed community."""
+        return len(self.influenced.influenced_only)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def summary(self) -> dict:
+        """Return a flat dict describing the community (used in reports)."""
+        return {
+            "center": self.center,
+            "size": len(self.vertices),
+            "score": round(self.score, 4),
+            "influenced": self.num_influenced,
+            "influenced_outside": self.num_influenced_outside,
+            "k": self.k,
+            "r": self.radius,
+        }
+
+
+@dataclass
+class QueryStatistics:
+    """Counters describing the work done by a query execution."""
+
+    visited_index_nodes: int = 0
+    visited_leaf_vertices: int = 0
+    candidates_examined: int = 0
+    communities_scored: int = 0
+    pruned_by_keyword: int = 0
+    pruned_by_support: int = 0
+    pruned_by_radius: int = 0
+    pruned_by_score: int = 0
+    pruned_index_entries: int = 0
+    heap_terminated_early: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_pruned(self) -> int:
+        """Total candidates removed by any pruning rule."""
+        return (
+            self.pruned_by_keyword
+            + self.pruned_by_support
+            + self.pruned_by_radius
+            + self.pruned_by_score
+            + self.pruned_index_entries
+        )
+
+    def as_dict(self) -> dict:
+        """Return the counters as a flat dict."""
+        return {
+            "visited_index_nodes": self.visited_index_nodes,
+            "visited_leaf_vertices": self.visited_leaf_vertices,
+            "candidates_examined": self.candidates_examined,
+            "communities_scored": self.communities_scored,
+            "pruned_by_keyword": self.pruned_by_keyword,
+            "pruned_by_support": self.pruned_by_support,
+            "pruned_by_radius": self.pruned_by_radius,
+            "pruned_by_score": self.pruned_by_score,
+            "pruned_index_entries": self.pruned_index_entries,
+            "total_pruned": self.total_pruned,
+            "heap_terminated_early": self.heap_terminated_early,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class TopLResult:
+    """Result of a TopL-ICDE query: at most ``L`` communities, best first."""
+
+    communities: tuple
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def __len__(self) -> int:
+        return len(self.communities)
+
+    def __iter__(self):
+        return iter(self.communities)
+
+    def __getitem__(self, index: int) -> SeedCommunity:
+        return self.communities[index]
+
+    @property
+    def best(self) -> Optional[SeedCommunity]:
+        """The highest-scoring community, or ``None`` for empty results."""
+        return self.communities[0] if self.communities else None
+
+    @property
+    def scores(self) -> tuple:
+        """Scores of the returned communities, best first."""
+        return tuple(community.score for community in self.communities)
+
+    def summary_rows(self) -> list[dict]:
+        """Return one summary dict per returned community."""
+        return [community.summary() for community in self.communities]
+
+
+@dataclass(frozen=True)
+class DTopLResult:
+    """Result of a DTopL-ICDE query: a set of ``L`` diversified communities."""
+
+    communities: tuple
+    diversity_score: float
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+    increment_evaluations: int = 0
+    candidates_considered: int = 0
+
+    def __len__(self) -> int:
+        return len(self.communities)
+
+    def __iter__(self):
+        return iter(self.communities)
+
+    def __getitem__(self, index: int) -> SeedCommunity:
+        return self.communities[index]
+
+    def summary_rows(self) -> list[dict]:
+        """Return one summary dict per selected community."""
+        return [community.summary() for community in self.communities]

@@ -1,0 +1,277 @@
+"""Online TopL-ICDE processing (Algorithm 3).
+
+The processor traverses the tree index with a max-heap keyed on the entries'
+influential-score upper bounds, prunes entries and leaf vertices with the
+rules of Section IV/VI-A, extracts a seed community for every surviving
+candidate centre, scores it with ``calculate_influence`` and maintains the
+current top-L result set.  Once the best remaining heap key no longer exceeds
+the L-th best score, the traversal terminates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.social_network import SocialNetwork, VertexId
+from repro.graph.traversal import hop_subgraph
+from repro.index.tree import TreeIndex, build_tree_index
+from repro.influence.propagation import community_propagation
+from repro.keywords.bitvector import BitVector
+from repro.pruning.index_rules import index_keyword_prune, index_score_prune, index_support_prune
+from repro.pruning.rules import (
+    center_has_query_keyword,
+    keyword_prune_by_bitvector,
+    score_prune,
+    support_prune,
+    trussness_prune,
+)
+from repro.pruning.stats import PruningConfig, PruningCounters
+from repro.query.params import TopLQuery
+from repro.query.results import QueryStatistics, SeedCommunity, TopLResult
+from repro.query.seed import extract_seed_community
+
+
+@dataclass
+class _Candidate:
+    """A scored seed community while the result set is being maintained."""
+
+    community: SeedCommunity
+
+    @property
+    def score(self) -> float:
+        return self.community.score
+
+
+class _ResultSet:
+    """The running top-L result set ``S`` with its threshold ``sigma_L``.
+
+    Distinct candidate centres can extract the *same* community (a dense
+    cluster is found from several of its members), so the set deduplicates by
+    vertex set and keeps only distinct communities.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: list[_Candidate] = []
+        self._seen: set[frozenset] = set()
+
+    @property
+    def sigma_l(self) -> float:
+        """The smallest score among the current L best (``-inf`` until full)."""
+        if len(self._entries) < self.capacity:
+            return float("-inf")
+        return self._entries[-1].score
+
+    def consider(self, community: SeedCommunity) -> bool:
+        """Insert ``community`` if it improves the result set; return ``True`` if kept."""
+        if community.vertices in self._seen:
+            return False
+        candidate = _Candidate(community)
+        if len(self._entries) < self.capacity:
+            self._entries.append(candidate)
+        elif candidate.score > self.sigma_l:
+            evicted = self._entries.pop()
+            self._seen.discard(evicted.community.vertices)
+            self._entries.append(candidate)
+        else:
+            return False
+        self._seen.add(community.vertices)
+        self._entries.sort(key=lambda entry: entry.score, reverse=True)
+        return True
+
+    def communities(self) -> tuple:
+        """The current communities, best first."""
+        return tuple(entry.community for entry in self._entries)
+
+
+class TopLProcessor:
+    """Executes TopL-ICDE queries against a graph and its tree index.
+
+    Parameters
+    ----------
+    graph:
+        The social network ``G``.
+    index:
+        A pre-built :class:`TreeIndex`; when omitted one is built with default
+        parameters (convenient for small graphs and tests, but real deployments
+        should build the index once and reuse it).
+    pruning:
+        Which pruning rules to apply (the Figure 4 ablation runs the processor
+        with reduced configurations).
+    """
+
+    def __init__(
+        self,
+        graph: SocialNetwork,
+        index: Optional[TreeIndex] = None,
+        pruning: PruningConfig = PruningConfig.all_enabled(),
+    ) -> None:
+        self.graph = graph
+        self.index = index if index is not None else build_tree_index(graph)
+        self.pruning = pruning
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def query(self, query: TopLQuery) -> TopLResult:
+        """Answer a TopL-ICDE query (Algorithm 3)."""
+        started = time.perf_counter()
+        self.index.validate_radius(query.radius)
+        query_bv = BitVector.from_keywords(query.keywords, self.index.precomputed.num_bits)
+        counters = PruningCounters()
+        statistics = QueryStatistics()
+        results = _ResultSet(query.top_l)
+
+        root = self.index.root
+        if root is None:
+            statistics.elapsed_seconds = time.perf_counter() - started
+            return TopLResult(communities=(), statistics=statistics)
+
+        # Max-heap of (negated score bound, tie-breaker, node).
+        heap: list[tuple[float, int, object]] = []
+        counter = 0
+        heapq.heappush(heap, (-float("inf"), counter, root))
+        counter += 1
+        # Distinct candidate centres frequently extract the same community
+        # (every member of a dense cluster is a valid centre for it); scoring
+        # is the expensive step, so communities are deduplicated before it.
+        scored_vertex_sets: set[frozenset] = set()
+
+        while heap:
+            negative_key, _, node = heapq.heappop(heap)
+            key = -negative_key
+            statistics.visited_index_nodes += 1
+            if self.pruning.score and key <= results.sigma_l:
+                statistics.heap_terminated_early = True
+                break
+
+            if node.is_leaf:
+                for vertex in node.vertices:
+                    statistics.visited_leaf_vertices += 1
+                    community = self._process_leaf_vertex(
+                        vertex, query, query_bv, results, counters, statistics,
+                        scored_vertex_sets,
+                    )
+                    if community is not None:
+                        results.consider(community)
+            else:
+                for child in node.children:
+                    if self._prune_index_entry(child, query, query_bv, results, counters):
+                        continue
+                    child_key = child.aggregates.score_bound_for(query.radius, query.theta)
+                    heapq.heappush(heap, (-child_key, counter, child))
+                    counter += 1
+
+        statistics.pruned_by_keyword = counters.keyword + counters.index_keyword
+        statistics.pruned_by_support = counters.support + counters.index_support
+        statistics.pruned_by_score = counters.score + counters.index_score
+        statistics.pruned_by_radius = counters.radius
+        statistics.pruned_index_entries = counters.index_level
+        statistics.elapsed_seconds = time.perf_counter() - started
+        return TopLResult(communities=results.communities(), statistics=statistics)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _prune_index_entry(
+        self,
+        entry,
+        query: TopLQuery,
+        query_bv: BitVector,
+        results: _ResultSet,
+        counters: PruningCounters,
+    ) -> bool:
+        """Apply the index-level rules (Lemmas 5-7) to a child entry."""
+        aggregates = entry.aggregates
+        if self.pruning.keyword and index_keyword_prune(
+            aggregates.bitvector(query.radius), query_bv
+        ):
+            counters.index_keyword += 1
+            return True
+        if self.pruning.support and (
+            index_support_prune(aggregates.support_bound(query.radius), query.k)
+            or trussness_prune(aggregates.trussness_bound, query.k)
+        ):
+            counters.index_support += 1
+            return True
+        if self.pruning.score and index_score_prune(
+            aggregates.score_bounds(query.radius), query.theta, results.sigma_l
+        ):
+            counters.index_score += 1
+            return True
+        return False
+
+    def _process_leaf_vertex(
+        self,
+        vertex: VertexId,
+        query: TopLQuery,
+        query_bv: BitVector,
+        results: _ResultSet,
+        counters: PruningCounters,
+        statistics: QueryStatistics,
+        scored_vertex_sets: set,
+    ) -> Optional[SeedCommunity]:
+        """Apply community-level pruning to a candidate centre, then refine it."""
+        statistics.candidates_examined += 1
+        aggregates = self.index.vertex_aggregates(vertex)
+        radius_aggregates = aggregates.for_radius(query.radius)
+
+        if self.pruning.keyword:
+            # Lemma 1: the r-hop subgraph must contain at least one query
+            # keyword, and the centre itself must carry one.
+            if keyword_prune_by_bitvector(radius_aggregates.bitvector, query_bv):
+                counters.keyword += 1
+                return None
+            if not center_has_query_keyword(self.graph, vertex, query.keywords):
+                counters.keyword += 1
+                return None
+        if self.pruning.support and (
+            support_prune(radius_aggregates.support_upper_bound, query.k)
+            or trussness_prune(aggregates.center_trussness, query.k)
+        ):
+            counters.support += 1
+            return None
+        if self.pruning.score and score_prune(
+            radius_aggregates.score_bound_for(query.theta), results.sigma_l
+        ):
+            counters.score += 1
+            return None
+
+        # Refinement: materialise hop(v, r), extract the seed community and
+        # score it exactly.
+        candidate_view = hop_subgraph(self.graph, vertex, query.radius)
+        vertices = extract_seed_community(self.graph, vertex, query, candidate_view)
+        if not vertices:
+            counters.radius += 1
+            return None
+        if vertices in scored_vertex_sets:
+            return None
+        scored_vertex_sets.add(vertices)
+        influenced = community_propagation(self.graph, vertices, query.theta)
+        statistics.communities_scored += 1
+        return SeedCommunity(
+            center=vertex,
+            vertices=vertices,
+            influenced=influenced,
+            k=query.k,
+            radius=query.radius,
+        )
+
+
+def topl_icde(
+    graph: SocialNetwork,
+    query: TopLQuery,
+    index: Optional[TreeIndex] = None,
+    pruning: PruningConfig = PruningConfig.all_enabled(),
+) -> TopLResult:
+    """Convenience wrapper: answer one TopL-ICDE query.
+
+    Builds a default index when none is supplied; reuse a
+    :class:`TopLProcessor` (or the :class:`repro.core.engine.InfluentialCommunityEngine`)
+    when running many queries against the same graph.
+    """
+    processor = TopLProcessor(graph, index=index, pruning=pruning)
+    return processor.query(query)

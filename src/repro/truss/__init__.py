@@ -1,0 +1,48 @@
+"""Structural cohesiveness substrate: edge support, k-truss, trussness, k-core."""
+
+from repro.truss.support import (
+    edge_key,
+    edge_support,
+    max_support,
+    satisfies_truss_support,
+    support_of_edge,
+    support_upper_bounds,
+    triangles_per_edge_histogram,
+)
+from repro.truss.ktruss import (
+    TrussResult,
+    is_ktruss,
+    ktruss_component_of,
+    max_truss_parameter,
+    maximal_ktruss,
+)
+from repro.truss.decomposition import TrussDecomposition, truss_decomposition
+from repro.truss.kcore import (
+    CoreDecomposition,
+    core_decomposition,
+    degeneracy,
+    kcore_component_of,
+    maximal_kcore,
+)
+
+__all__ = [
+    "edge_key",
+    "edge_support",
+    "max_support",
+    "satisfies_truss_support",
+    "support_of_edge",
+    "support_upper_bounds",
+    "triangles_per_edge_histogram",
+    "TrussResult",
+    "is_ktruss",
+    "ktruss_component_of",
+    "max_truss_parameter",
+    "maximal_ktruss",
+    "TrussDecomposition",
+    "truss_decomposition",
+    "CoreDecomposition",
+    "core_decomposition",
+    "degeneracy",
+    "kcore_component_of",
+    "maximal_kcore",
+]

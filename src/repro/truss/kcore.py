@@ -1,0 +1,124 @@
+"""k-core decomposition.
+
+The paper's case study (Figure 5, RQ3) compares the Top1-ICDE seed community
+against the *k-core* community containing the same centre vertex: the maximal
+subgraph in which every vertex has degree at least ``k``.  This module
+provides the classic peeling-based core decomposition plus helpers to extract
+the k-core component of a centre vertex, mirroring the helpers in
+:mod:`repro.truss.ktruss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.social_network import SocialNetwork, VertexId
+from repro.graph.subgraph import SubgraphView
+
+GraphLike = Union[SocialNetwork, SubgraphView]
+
+
+@dataclass(frozen=True)
+class CoreDecomposition:
+    """Core number of every vertex."""
+
+    core_numbers: dict
+
+    def core_of(self, vertex: VertexId) -> int:
+        """Return the core number of ``vertex`` (0 when absent)."""
+        return self.core_numbers.get(vertex, 0)
+
+    def max_core(self) -> int:
+        """Return the largest core number (degeneracy)."""
+        return max(self.core_numbers.values(), default=0)
+
+    def vertices_with_core_at_least(self, k: int) -> frozenset:
+        """Return the vertices with core number >= ``k``."""
+        return frozenset(v for v, c in self.core_numbers.items() if c >= k)
+
+
+def _adjacency_of(graph: GraphLike) -> dict[VertexId, set]:
+    if isinstance(graph, SubgraphView):
+        return {v: set(graph.neighbors(v)) for v in graph}
+    return {v: graph.neighbor_set(v) for v in graph.vertices()}
+
+
+def core_decomposition(graph: GraphLike) -> CoreDecomposition:
+    """Compute core numbers with the standard bucket-based peeling algorithm."""
+    adjacency = _adjacency_of(graph)
+    degrees = {v: len(neighbors) for v, neighbors in adjacency.items()}
+    if not degrees:
+        return CoreDecomposition(core_numbers={})
+    max_degree = max(degrees.values())
+    buckets: list[set[VertexId]] = [set() for _ in range(max_degree + 1)]
+    for vertex, degree in degrees.items():
+        buckets[degree].add(vertex)
+
+    core_numbers: dict[VertexId, int] = {}
+    current_core = 0
+    pointer = 0
+    processed: set[VertexId] = set()
+    remaining = len(degrees)
+    while remaining:
+        while pointer <= max_degree and not buckets[pointer]:
+            pointer += 1
+        if pointer > max_degree:
+            break
+        vertex = buckets[pointer].pop()
+        if vertex in processed:
+            continue
+        current_core = max(current_core, degrees[vertex])
+        core_numbers[vertex] = current_core
+        processed.add(vertex)
+        remaining -= 1
+        for neighbour in adjacency[vertex]:
+            if neighbour in processed:
+                continue
+            old = degrees[neighbour]
+            if old > degrees[vertex]:
+                buckets[old].discard(neighbour)
+                degrees[neighbour] = old - 1
+                buckets[old - 1].add(neighbour)
+                if old - 1 < pointer:
+                    pointer = old - 1
+        adjacency[vertex] = set()
+    return CoreDecomposition(core_numbers=core_numbers)
+
+
+def maximal_kcore(graph: GraphLike, k: int) -> frozenset:
+    """Return the vertices of the maximal k-core (possibly disconnected)."""
+    if k < 0:
+        raise GraphError(f"core parameter k must be non-negative, got {k}")
+    decomposition = core_decomposition(graph)
+    return decomposition.vertices_with_core_at_least(k)
+
+
+def kcore_component_of(graph: GraphLike, k: int, center: VertexId) -> frozenset:
+    """Return the k-core connected component containing ``center``.
+
+    Returns the empty frozenset when ``center`` is not part of the k-core.
+    This is the community the Figure 5 case study compares against.
+    """
+    core_vertices = maximal_kcore(graph, k)
+    if center not in core_vertices:
+        return frozenset()
+    if isinstance(graph, SubgraphView):
+        neighbors = {v: set(graph.neighbors(v)) & core_vertices for v in core_vertices}
+    else:
+        neighbors = {v: graph.neighbor_set(v) & core_vertices for v in core_vertices}
+    component = {center}
+    frontier = [center]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in neighbors[current]:
+            if neighbour not in component:
+                component.add(neighbour)
+                frontier.append(neighbour)
+    return frozenset(component)
+
+
+def degeneracy(graph: GraphLike) -> int:
+    """Return the degeneracy of ``graph`` (its maximum core number)."""
+    return core_decomposition(graph).max_core()

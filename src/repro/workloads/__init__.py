@@ -1,0 +1,23 @@
+"""Workloads: query generation, Table III parameter grid, runner, reporting."""
+
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.runner import ExperimentRunner
+from repro.workloads.reporting import (
+    format_series,
+    format_table,
+    speedup,
+    summarize_comparison,
+)
+from repro.workloads.sweeps import PAPER_PARAMETER_GRID, ParameterGrid, SweepPoint
+
+__all__ = [
+    "QueryWorkload",
+    "ExperimentRunner",
+    "format_series",
+    "format_table",
+    "speedup",
+    "summarize_comparison",
+    "PAPER_PARAMETER_GRID",
+    "ParameterGrid",
+    "SweepPoint",
+]

@@ -1,0 +1,90 @@
+"""Plain-text report formatting for experiment results.
+
+The benches print the same rows/series the paper's tables and figures report;
+these helpers format lists of dict rows as aligned ASCII tables so the output
+of ``pytest benchmarks/ --benchmark-only`` is directly readable and easy to
+copy into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Format ``rows`` (list of dicts) as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        The data rows; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional caption printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_render_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max((len(cells[i]) for cells in rendered_rows), default=0))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for cells in rendered_rows:
+        lines.append(" | ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def format_series(label: str, points: Iterable[tuple]) -> str:
+    """Format an (x, y) series like one curve of a paper figure."""
+    parts = [f"{x}={_render_cell(y)}" for x, y in points]
+    return f"{label}: " + ", ".join(parts)
+
+
+def speedup(baseline_seconds: float, method_seconds: float) -> float:
+    """Return the speed-up factor ``baseline / method`` (0 when the method took no time)."""
+    if method_seconds <= 0:
+        return float("inf") if baseline_seconds > 0 else 1.0
+    return baseline_seconds / method_seconds
+
+
+def summarize_comparison(rows: Sequence[dict], method_key: str, baseline_key: str) -> dict:
+    """Summarise who wins and by what factor across comparison rows.
+
+    Each row must contain ``method_key`` and ``baseline_key`` (seconds).
+    Returns the number of rows each side wins plus min/median/max speed-up,
+    which is the "shape" EXPERIMENTS.md records per figure.
+    """
+    speedups = []
+    method_wins = 0
+    for row in rows:
+        method_time = float(row[method_key])
+        baseline_time = float(row[baseline_key])
+        speedups.append(speedup(baseline_time, method_time))
+        if method_time <= baseline_time:
+            method_wins += 1
+    speedups.sort()
+    count = len(speedups)
+    return {
+        "rows": count,
+        "method_wins": method_wins,
+        "baseline_wins": count - method_wins,
+        "min_speedup": round(speedups[0], 3) if speedups else 0.0,
+        "median_speedup": round(speedups[count // 2], 3) if speedups else 0.0,
+        "max_speedup": round(speedups[-1], 3) if speedups else 0.0,
+    }

@@ -1,0 +1,137 @@
+"""Experiment runner: wires datasets, sweeps, queries and methods together.
+
+The benches under ``benchmarks/`` are thin wrappers around this runner so the
+same experiments can also be executed programmatically (see
+``examples/parameter_study.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.graph.datasets import synthetic_small_world
+from repro.graph.social_network import SocialNetwork
+from repro.pruning.stats import PruningConfig
+from repro.query.params import DTopLQuery, TopLQuery
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.sweeps import PAPER_PARAMETER_GRID, ParameterGrid, SweepPoint
+
+
+@dataclass
+class ExperimentRunner:
+    """Builds engines per graph and measures query methods over sweeps."""
+
+    grid: ParameterGrid = PAPER_PARAMETER_GRID
+    config: Optional[EngineConfig] = None
+    rng_seed: int = 2024
+
+    def __post_init__(self) -> None:
+        self._engines: dict[str, InfluentialCommunityEngine] = {}
+
+    # ------------------------------------------------------------------ #
+    # graph / engine management
+    # ------------------------------------------------------------------ #
+    def engine_for(self, graph: SocialNetwork) -> InfluentialCommunityEngine:
+        """Build (and cache) the engine for a graph; keyed by graph name and size."""
+        key = f"{graph.name}:{graph.num_vertices()}:{graph.num_edges()}"
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = InfluentialCommunityEngine.build(
+                graph, config=self.config, validate=False
+            )
+            self._engines[key] = engine
+        return engine
+
+    def synthetic_graph(
+        self,
+        distribution: str,
+        num_vertices: int,
+        keywords_per_vertex: Optional[int] = None,
+        domain_size: Optional[int] = None,
+    ) -> SocialNetwork:
+        """Generate one of the paper's synthetic graphs at the requested setting."""
+        defaults = self.grid.defaults()
+        return synthetic_small_world(
+            distribution,
+            num_vertices=num_vertices,
+            keywords_per_vertex=keywords_per_vertex or defaults["keywords_per_vertex"],
+            domain_size=domain_size or defaults["keyword_domain"],
+            rng=self.rng_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # measurements
+    # ------------------------------------------------------------------ #
+    def measure_topl(
+        self,
+        graph: SocialNetwork,
+        query: TopLQuery,
+        pruning: PruningConfig = PruningConfig.all_enabled(),
+    ) -> SweepPoint:
+        """Run one TopL-ICDE query and capture wall clock + pruning metrics."""
+        engine = self.engine_for(graph)
+        started = time.perf_counter()
+        result = engine.topl(query, pruning=pruning)
+        elapsed = time.perf_counter() - started
+        return SweepPoint(
+            settings={"dataset": graph.name, **query.describe(), "pruning": pruning.label()},
+            metrics={
+                "wall_clock_s": elapsed,
+                "communities": len(result),
+                "best_score": result.scores[0] if result.scores else 0.0,
+                "pruned": result.statistics.total_pruned,
+                "scored": result.statistics.communities_scored,
+            },
+        )
+
+    def measure_dtopl(
+        self,
+        graph: SocialNetwork,
+        query: DTopLQuery,
+        method: Union[str, Callable] = "greedy_wp",
+    ) -> SweepPoint:
+        """Run one DTopL-ICDE query with the chosen method and capture metrics.
+
+        ``method`` is ``"greedy_wp"`` (the paper's algorithm), ``"greedy_wop"``
+        or ``"optimal"``, or any callable with the baseline signature.
+        """
+        from repro.query.baselines.greedy_wop import greedy_wop_dtopl
+        from repro.query.baselines.optimal import optimal_dtopl
+
+        engine = self.engine_for(graph)
+        named: dict[str, Callable] = {
+            "greedy_wop": lambda: greedy_wop_dtopl(graph, query, index=engine.index),
+            "optimal": lambda: optimal_dtopl(graph, query, index=engine.index),
+            "greedy_wp": lambda: engine.dtopl(query),
+        }
+        if callable(method):
+            runner = lambda: method(graph, query, index=engine.index)  # noqa: E731
+            method_name = getattr(method, "__name__", "custom")
+        else:
+            if method not in named:
+                raise KeyError(
+                    f"unknown DTopL method {method!r}; expected one of {sorted(named)}"
+                )
+            runner = named[method]
+            method_name = method
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        return SweepPoint(
+            settings={"dataset": graph.name, **query.describe(), "method": method_name},
+            metrics={
+                "wall_clock_s": elapsed,
+                "diversity_score": result.diversity_score,
+                "communities": len(result),
+                "gain_evaluations": result.increment_evaluations,
+                "candidates": result.candidates_considered,
+            },
+        )
+
+    def workload_for(self, graph: SocialNetwork, seed: Optional[int] = None) -> QueryWorkload:
+        """Build a reproducible query workload for ``graph``."""
+        return QueryWorkload(graph, rng=self.rng_seed if seed is None else seed)

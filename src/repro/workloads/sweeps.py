@@ -1,0 +1,107 @@
+"""The paper's parameter grid (Table III) and sweep helpers.
+
+Each Figure 3 / Figure 6 panel varies exactly one parameter while the others
+stay at their defaults; :class:`ParameterGrid` encodes the grid and produces
+the per-panel sweeps the benches iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Table III: explored values and defaults for every evaluation parameter."""
+
+    theta_values: tuple = (0.1, 0.2, 0.3)
+    query_keyword_sizes: tuple = (2, 3, 5, 8, 10)
+    truss_k_values: tuple = (3, 4, 5)
+    radius_values: tuple = (1, 2, 3)
+    result_sizes: tuple = (2, 3, 5, 8, 10)
+    keywords_per_vertex_values: tuple = (1, 2, 3, 4, 5)
+    keyword_domain_sizes: tuple = (10, 20, 50, 80)
+    graph_sizes: tuple = (10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000)
+    candidate_factors: tuple = (2, 3, 5, 8, 10)
+
+    default_theta: float = 0.2
+    default_query_keywords: int = 5
+    default_truss_k: int = 4
+    default_radius: int = 2
+    default_result_size: int = 5
+    default_keywords_per_vertex: int = 3
+    default_keyword_domain: int = 50
+    default_graph_size: int = 25_000
+    default_candidate_factor: int = 3
+
+    def defaults(self) -> dict:
+        """Return the default setting of every parameter."""
+        return {
+            "theta": self.default_theta,
+            "num_query_keywords": self.default_query_keywords,
+            "k": self.default_truss_k,
+            "radius": self.default_radius,
+            "top_l": self.default_result_size,
+            "keywords_per_vertex": self.default_keywords_per_vertex,
+            "keyword_domain": self.default_keyword_domain,
+            "graph_size": self.default_graph_size,
+            "candidate_factor": self.default_candidate_factor,
+        }
+
+    def sweep(self, parameter: str) -> list[dict]:
+        """Return one settings dict per value of ``parameter`` (others at defaults).
+
+        ``parameter`` is one of the keys of :meth:`defaults`.
+        """
+        values = {
+            "theta": self.theta_values,
+            "num_query_keywords": self.query_keyword_sizes,
+            "k": self.truss_k_values,
+            "radius": self.radius_values,
+            "top_l": self.result_sizes,
+            "keywords_per_vertex": self.keywords_per_vertex_values,
+            "keyword_domain": self.keyword_domain_sizes,
+            "graph_size": self.graph_sizes,
+            "candidate_factor": self.candidate_factors,
+        }
+        if parameter not in values:
+            raise KeyError(
+                f"unknown sweep parameter {parameter!r}; expected one of {sorted(values)}"
+            )
+        sweeps = []
+        for value in values[parameter]:
+            settings = self.defaults()
+            settings[parameter] = value
+            settings["swept_parameter"] = parameter
+            settings["swept_value"] = value
+            sweeps.append(settings)
+        return sweeps
+
+    def scaled(self, factor: float) -> "ParameterGrid":
+        """Return a grid whose graph sizes are scaled by ``factor``.
+
+        The benches run on pure-Python simulators, so the default bench
+        profile scales the 10K–1M sweep down while keeping every other
+        parameter identical (documented in EXPERIMENTS.md).
+        """
+        scaled_sizes = tuple(max(100, int(size * factor)) for size in self.graph_sizes)
+        scaled_default = max(100, int(self.default_graph_size * factor))
+        return replace(self, graph_sizes=scaled_sizes, default_graph_size=scaled_default)
+
+
+#: The grid exactly as printed in Table III.
+PAPER_PARAMETER_GRID = ParameterGrid()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a sweep: the settings used and the metrics observed."""
+
+    settings: dict
+    metrics: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """Flatten into a single report row."""
+        merged = dict(self.settings)
+        merged.update(self.metrics)
+        return merged

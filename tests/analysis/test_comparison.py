@@ -1,0 +1,99 @@
+"""Unit tests for cross-method result comparison helpers."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_rankings,
+    coverage_gain_curve,
+    influence_overlap_matrix,
+    jaccard,
+    seed_overlap_matrix,
+)
+from repro.pruning.diversity import diversity_score
+from repro.query.baselines.bruteforce import bruteforce_topl
+from repro.query.params import make_topl_query
+from repro.query.topl import topl_icde
+
+
+@pytest.fixture
+def both_cliques(two_cliques_bridge):
+    query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+    return topl_icde(two_cliques_bridge, query), query
+
+
+class TestJaccard:
+    def test_basic_values(self):
+        assert jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+        assert jaccard(frozenset({1, 2}), frozenset({3})) == 0.0
+        assert jaccard(frozenset({1, 2}), frozenset({2, 3})) == pytest.approx(1 / 3)
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestOverlapMatrices:
+    def test_seed_overlap(self, both_cliques):
+        result, _ = both_cliques
+        matrix = seed_overlap_matrix(list(result))
+        assert matrix[0][0] == 1.0
+        assert matrix[0][1] == 0.0  # disjoint cliques
+        assert matrix[1][0] == matrix[0][1]
+
+    def test_influence_overlap_larger_than_seed_overlap(self, both_cliques):
+        result, _ = both_cliques
+        seeds = seed_overlap_matrix(list(result))
+        influence = influence_overlap_matrix(list(result))
+        # The cliques share no seed vertices but do influence common users via
+        # the bridge, so the influence overlap is at least the seed overlap.
+        assert influence[0][1] >= seeds[0][1]
+
+
+class TestCompareRankings:
+    def test_identical_rankings(self, two_cliques_bridge, both_cliques):
+        result, query = both_cliques
+        reference = bruteforce_topl(two_cliques_bridge, query)
+        agreement = compare_rankings(result, reference)
+        assert agreement.precision == 1.0
+        assert agreement.matched == agreement.expected == 2
+        assert agreement.score_gap == pytest.approx(0.0)
+
+    def test_partial_agreement(self, both_cliques):
+        from repro.query.results import TopLResult
+
+        result, _ = both_cliques
+        truncated = TopLResult(communities=result.communities[:1])
+        agreement = compare_rankings(truncated, result)
+        assert agreement.matched == 1
+        assert agreement.expected == 2
+        assert agreement.precision == pytest.approx(0.5)
+        assert agreement.score_gap == float("inf")
+
+    def test_empty_reference(self):
+        from repro.query.results import TopLResult
+
+        empty = TopLResult(communities=())
+        agreement = compare_rankings(empty, empty)
+        assert agreement.precision == 1.0
+        assert agreement.score_gap == 0.0
+
+
+class TestCoverageGainCurve:
+    def test_curve_is_monotone_and_matches_diversity_score(self, both_cliques):
+        result, _ = both_cliques
+        communities = list(result)
+        curve = coverage_gain_curve(communities)
+        assert len(curve) == len(communities)
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(
+            diversity_score([community.influenced for community in communities])
+        )
+
+    def test_concavity_of_gains(self, both_cliques):
+        result, _ = both_cliques
+        communities = list(result)
+        if len(communities) < 2:
+            pytest.skip("need at least two communities")
+        curve = coverage_gain_curve(communities)
+        gains = [curve[0]] + [b - a for a, b in zip(curve, curve[1:])]
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(gains, gains[1:]))
+
+    def test_empty_input(self):
+        assert coverage_gain_curve([]) == []

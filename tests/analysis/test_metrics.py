@@ -1,0 +1,97 @@
+"""Unit tests for community quality metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    conductance,
+    influence_efficiency,
+    influenced_keyword_coverage,
+    internal_density,
+    keyword_coverage,
+    minimum_edge_support,
+    minimum_internal_degree,
+    quality_report,
+)
+from repro.query.params import make_topl_query
+from repro.query.topl import topl_icde
+
+
+@pytest.fixture
+def scored_clique(two_cliques_bridge):
+    """The 'movies' clique of the shared fixture, scored at theta = 0.1."""
+    query = make_topl_query({"movies"}, k=4, radius=1, theta=0.1, top_l=1)
+    return topl_icde(two_cliques_bridge, query).best, query
+
+
+class TestStructuralMetrics:
+    def test_clique_density_is_one(self, two_cliques_bridge):
+        assert internal_density(two_cliques_bridge, frozenset(range(4))) == pytest.approx(1.0)
+
+    def test_density_of_sparse_set(self, two_cliques_bridge):
+        # {0, 1, 4}: only the edge (0, 1) is present out of 3 possible.
+        assert internal_density(two_cliques_bridge, {0, 1, 4}) == pytest.approx(1 / 3)
+
+    def test_density_degenerate_inputs(self, two_cliques_bridge):
+        assert internal_density(two_cliques_bridge, set()) == 0.0
+        assert internal_density(two_cliques_bridge, {0}) == 0.0
+
+    def test_minimum_internal_degree(self, two_cliques_bridge):
+        assert minimum_internal_degree(two_cliques_bridge, frozenset(range(4))) == 3
+        assert minimum_internal_degree(two_cliques_bridge, {0, 1, 4}) == 0
+        assert minimum_internal_degree(two_cliques_bridge, set()) == 0
+
+    def test_minimum_edge_support(self, two_cliques_bridge):
+        assert minimum_edge_support(two_cliques_bridge, frozenset(range(4))) == 2
+        assert minimum_edge_support(two_cliques_bridge, {3, 4, 5}) == 0
+
+    def test_conductance_of_well_separated_clique(self, two_cliques_bridge):
+        # Clique A has a single outgoing edge (3-4) over volume 13.
+        value = conductance(two_cliques_bridge, frozenset(range(4)))
+        assert value == pytest.approx(1 / 13)
+
+    def test_conductance_edge_cases(self, two_cliques_bridge):
+        assert conductance(two_cliques_bridge, set()) == 0.0
+        everything = frozenset(two_cliques_bridge.vertices())
+        assert conductance(two_cliques_bridge, everything) == 0.0
+
+    def test_conductance_unknown_vertex_rejected(self, two_cliques_bridge):
+        with pytest.raises(Exception):
+            conductance(two_cliques_bridge, {0, 999})
+
+
+class TestKeywordAndInfluenceMetrics:
+    def test_keyword_coverage(self, two_cliques_bridge):
+        assert keyword_coverage(two_cliques_bridge, frozenset(range(4)), {"movies"}) == 1.0
+        assert keyword_coverage(two_cliques_bridge, {0, 4}, {"movies"}) == pytest.approx(0.5)
+        assert keyword_coverage(two_cliques_bridge, set(), {"movies"}) == 0.0
+
+    def test_result_communities_have_full_coverage(self, scored_clique, two_cliques_bridge):
+        community, query = scored_clique
+        assert keyword_coverage(two_cliques_bridge, community, query.keywords) == 1.0
+
+    def test_influenced_keyword_coverage(self, scored_clique, two_cliques_bridge):
+        community, _ = scored_clique
+        # Influenced users outside the seed are the bridge/books vertices,
+        # none of which carry "movies".
+        assert influenced_keyword_coverage(
+            two_cliques_bridge, community, {"movies"}
+        ) == pytest.approx(0.0)
+        assert influenced_keyword_coverage(
+            two_cliques_bridge, community, {"books", "travel"}
+        ) > 0.0
+
+    def test_influence_efficiency(self, scored_clique):
+        community, _ = scored_clique
+        assert influence_efficiency(community) == pytest.approx(community.score / len(community))
+
+
+class TestQualityReport:
+    def test_report_row(self, scored_clique, two_cliques_bridge):
+        community, query = scored_clique
+        report = quality_report(two_cliques_bridge, community, query.keywords)
+        row = report.as_row()
+        assert row["size"] == 4
+        assert row["density"] == pytest.approx(1.0)
+        assert row["min_sup"] == 2
+        assert row["kw_coverage"] == 1.0
+        assert row["score_per_member"] > 1.0

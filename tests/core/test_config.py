@@ -1,0 +1,48 @@
+"""Unit tests for EngineConfig."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.exceptions import QueryParameterError
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        config = EngineConfig.paper_defaults()
+        assert config.max_radius == 3
+        assert config.thresholds == (0.1, 0.2, 0.3)
+        assert config.num_bits == 64
+
+    def test_thresholds_sorted_and_deduplicated(self):
+        config = EngineConfig(thresholds=(0.3, 0.1, 0.1))
+        assert config.thresholds == (0.1, 0.3)
+
+    def test_invalid_radius(self):
+        with pytest.raises(QueryParameterError):
+            EngineConfig(max_radius=0)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(QueryParameterError):
+            EngineConfig(thresholds=())
+        with pytest.raises(QueryParameterError):
+            EngineConfig(thresholds=(0.5, 1.0))
+
+    def test_invalid_bits_fanout_capacity(self):
+        with pytest.raises(QueryParameterError):
+            EngineConfig(num_bits=0)
+        with pytest.raises(QueryParameterError):
+            EngineConfig(fanout=1)
+        with pytest.raises(QueryParameterError):
+            EngineConfig(leaf_capacity=0)
+
+    def test_describe(self):
+        config = EngineConfig(max_radius=2, thresholds=(0.2,), fanout=4, leaf_capacity=8)
+        summary = config.describe()
+        assert summary["r_max"] == 2
+        assert summary["thresholds"] == [0.2]
+        assert summary["fanout"] == 4
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(Exception):
+            config.max_radius = 5

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    assign_uniform_weights,
+    barabasi_albert_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    newman_watts_strogatz_graph,
+    planted_community_graph,
+    ring_lattice_graph,
+)
+
+
+class TestNewmanWattsStrogatz:
+    def test_vertex_count(self):
+        graph = newman_watts_strogatz_graph(50, rng=1)
+        assert graph.num_vertices() == 50
+
+    def test_ring_lattice_edge_count(self):
+        # With no shortcuts each vertex connects to ring_neighbors others.
+        graph = ring_lattice_graph(30, ring_neighbors=4, rng=1)
+        assert graph.num_edges() == 30 * 4 // 2
+
+    def test_shortcuts_add_edges(self):
+        base = ring_lattice_graph(60, ring_neighbors=6, rng=2)
+        with_shortcuts = newman_watts_strogatz_graph(
+            60, ring_neighbors=6, shortcut_probability=0.5, rng=2
+        )
+        assert with_shortcuts.num_edges() >= base.num_edges()
+
+    def test_probabilities_in_paper_range(self):
+        graph = newman_watts_strogatz_graph(40, rng=3)
+        for u, v in graph.edges():
+            assert 0.5 <= graph.probability(u, v) < 0.6
+            assert 0.5 <= graph.probability(v, u) < 0.6
+
+    def test_deterministic_with_same_seed(self):
+        graph1 = newman_watts_strogatz_graph(40, rng=7)
+        graph2 = newman_watts_strogatz_graph(40, rng=7)
+        assert set(map(frozenset, graph1.edges())) == set(map(frozenset, graph2.edges()))
+
+    def test_different_seeds_differ(self):
+        graph1 = newman_watts_strogatz_graph(80, rng=1)
+        graph2 = newman_watts_strogatz_graph(80, rng=2)
+        assert set(map(frozenset, graph1.edges())) != set(map(frozenset, graph2.edges()))
+
+    def test_rng_instance_accepted(self):
+        graph = newman_watts_strogatz_graph(20, rng=random.Random(5))
+        assert graph.num_vertices() == 20
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(GraphError):
+            newman_watts_strogatz_graph(0)
+        with pytest.raises(GraphError):
+            newman_watts_strogatz_graph(10, ring_neighbors=3)
+        with pytest.raises(GraphError):
+            newman_watts_strogatz_graph(10, shortcut_probability=1.5)
+        with pytest.raises(GraphError):
+            newman_watts_strogatz_graph(10, weight_range=(0.9, 0.2))
+
+    def test_graph_is_connected(self):
+        graph = newman_watts_strogatz_graph(100, rng=9)
+        assert graph.is_connected()
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi_edge_probability_extremes(self):
+        empty = erdos_renyi_graph(10, 0.0, rng=1)
+        assert empty.num_edges() == 0
+        full = erdos_renyi_graph(10, 1.0, rng=1)
+        assert full.num_edges() == 45
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.2)
+
+    def test_barabasi_albert_size_and_minimum_degree(self):
+        graph = barabasi_albert_graph(60, edges_per_vertex=3, rng=4)
+        assert graph.num_vertices() == 60
+        assert min(graph.degree(v) for v in graph.vertices()) >= 3
+
+    def test_barabasi_albert_heavy_tail(self):
+        graph = barabasi_albert_graph(200, edges_per_vertex=2, rng=4)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        # Preferential attachment concentrates degree on a few hubs.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, edges_per_vertex=3)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, edges_per_vertex=0)
+
+    def test_planted_community_structure(self):
+        graph = planted_community_graph([6, 6], intra_probability=1.0, inter_probability=0.0, rng=1)
+        assert graph.num_vertices() == 12
+        # Fully dense blocks, no inter-community edges.
+        assert graph.num_edges() == 2 * (6 * 5 // 2)
+        assert not graph.is_connected()
+
+    def test_planted_community_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            planted_community_graph([])
+        with pytest.raises(GraphError):
+            planted_community_graph([4, 0])
+
+    def test_complete_graph(self):
+        graph = complete_graph(6, rng=1)
+        assert graph.num_edges() == 15
+        assert all(graph.degree(v) == 5 for v in graph.vertices())
+
+    def test_assign_uniform_weights(self):
+        graph = complete_graph(5, rng=1)
+        assign_uniform_weights(graph, weight_range=(0.2, 0.3), rng=2)
+        for u, v in graph.edges():
+            assert 0.2 <= graph.probability(u, v) < 0.3
+            assert 0.2 <= graph.probability(v, u) < 0.3

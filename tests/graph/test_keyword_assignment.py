@@ -1,0 +1,85 @@
+"""Unit tests for keyword assignment over graphs."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import complete_graph, ring_lattice_graph
+from repro.graph.keyword_assignment import (
+    assign_keywords,
+    keyword_profile,
+    vertices_with_any_keyword,
+)
+from repro.keywords.vocabulary import ZipfKeywordDistribution, default_vocabulary
+
+
+class TestAssignKeywords:
+    def test_every_vertex_receives_exact_count(self):
+        graph = ring_lattice_graph(40, rng=1)
+        assign_keywords(graph, keywords_per_vertex=3, domain_size=20, rng=2)
+        assert all(len(graph.keywords(v)) == 3 for v in graph.vertices())
+
+    def test_count_capped_by_domain(self):
+        graph = complete_graph(5, rng=1)
+        assign_keywords(graph, keywords_per_vertex=10, domain_size=4, rng=2)
+        assert all(len(graph.keywords(v)) == 4 for v in graph.vertices())
+
+    def test_keywords_come_from_domain(self):
+        graph = complete_graph(8, rng=1)
+        vocabulary = default_vocabulary(15)
+        assign_keywords(graph, keywords_per_vertex=2, vocabulary=vocabulary, rng=3)
+        domain = set(vocabulary.keywords)
+        for vertex in graph.vertices():
+            assert graph.keywords(vertex) <= domain
+
+    def test_deterministic_given_seed(self):
+        graph1 = complete_graph(10, rng=1)
+        graph2 = complete_graph(10, rng=1)
+        assign_keywords(graph1, rng=7)
+        assign_keywords(graph2, rng=7)
+        assert all(graph1.keywords(v) == graph2.keywords(v) for v in graph1.vertices())
+
+    def test_invalid_count_rejected(self):
+        graph = complete_graph(4, rng=1)
+        with pytest.raises(DatasetError):
+            assign_keywords(graph, keywords_per_vertex=0)
+
+    def test_explicit_distribution_instance(self):
+        graph = complete_graph(30, rng=1)
+        vocabulary = default_vocabulary(20)
+        distribution = ZipfKeywordDistribution(vocabulary, exponent=1.5)
+        assign_keywords(graph, keywords_per_vertex=1, distribution=distribution, rng=5)
+        profile = keyword_profile(graph)
+        # Zipf concentrates mass on the first-ranked keyword.
+        top_keyword = vocabulary[0]
+        frequencies = profile["keyword_frequencies"]
+        assert frequencies.get(top_keyword, 0) == max(frequencies.values())
+
+    def test_returns_same_graph_for_chaining(self):
+        graph = complete_graph(4, rng=1)
+        assert assign_keywords(graph, rng=1) is graph
+
+
+class TestKeywordProfile:
+    def test_profile_counts(self):
+        graph = complete_graph(6, rng=1)
+        assign_keywords(graph, keywords_per_vertex=2, domain_size=10, rng=4)
+        profile = keyword_profile(graph)
+        assert profile["num_vertices"] == 6
+        assert profile["avg_keywords_per_vertex"] == pytest.approx(2.0)
+        assert profile["min_keywords_per_vertex"] == 2
+        assert profile["max_keywords_per_vertex"] == 2
+        assert sum(profile["keyword_frequencies"].values()) == 12
+
+    def test_profile_of_empty_graph(self):
+        from repro.graph.social_network import SocialNetwork
+
+        profile = keyword_profile(SocialNetwork())
+        assert profile["num_vertices"] == 0
+        assert profile["avg_keywords_per_vertex"] == 0.0
+
+
+class TestVerticesWithAnyKeyword:
+    def test_matching_vertices_returned(self, triangle_graph):
+        assert vertices_with_any_keyword(triangle_graph, {"movies"}) == {"a", "b"}
+        assert vertices_with_any_keyword(triangle_graph, {"books", "sports"}) == {"b", "c", "d"}
+        assert vertices_with_any_keyword(triangle_graph, {"gaming"}) == set()

@@ -1,0 +1,206 @@
+"""Unit tests for the SocialNetwork data model."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidProbabilityError,
+    VertexNotFoundError,
+)
+from repro.graph.social_network import SocialNetwork
+
+
+class TestVertexOperations:
+    def test_add_vertex_with_keywords(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1, {"movies", "books"})
+        assert graph.has_vertex(1)
+        assert graph.keywords(1) == frozenset({"movies", "books"})
+
+    def test_add_vertex_twice_merges_keywords(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1, {"movies"})
+        graph.add_vertex(1, {"books"})
+        assert graph.keywords(1) == frozenset({"movies", "books"})
+
+    def test_add_vertex_without_keywords(self):
+        graph = SocialNetwork()
+        graph.add_vertex("u")
+        assert graph.keywords("u") == frozenset()
+
+    def test_set_keywords_replaces(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1, {"movies"})
+        graph.set_keywords(1, {"sports"})
+        assert graph.keywords(1) == frozenset({"sports"})
+
+    def test_set_keywords_missing_vertex_raises(self):
+        graph = SocialNetwork()
+        with pytest.raises(VertexNotFoundError):
+            graph.set_keywords(42, {"movies"})
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        graph.remove_vertex(2)
+        assert not graph.has_vertex(2)
+        assert not graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 3)
+        assert graph.num_edges() == 0
+
+    def test_remove_missing_vertex_raises(self):
+        graph = SocialNetwork()
+        with pytest.raises(VertexNotFoundError):
+            graph.remove_vertex(1)
+
+    def test_contains_and_len(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        assert 1 in graph
+        assert 3 not in graph
+        assert len(graph) == 2
+
+    def test_keywords_missing_vertex_raises(self):
+        graph = SocialNetwork()
+        with pytest.raises(VertexNotFoundError):
+            graph.keywords(9)
+
+
+class TestEdgeOperations:
+    def test_add_edge_creates_vertices(self):
+        graph = SocialNetwork()
+        graph.add_edge("u", "v", 0.7)
+        assert graph.has_vertex("u")
+        assert graph.has_vertex("v")
+        assert graph.has_edge("u", "v")
+        assert graph.has_edge("v", "u")
+
+    def test_add_edge_symmetric_default_probability(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.7)
+        assert graph.probability(1, 2) == pytest.approx(0.7)
+        assert graph.probability(2, 1) == pytest.approx(0.7)
+
+    def test_add_edge_asymmetric_probabilities(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.7, 0.3)
+        assert graph.probability(1, 2) == pytest.approx(0.7)
+        assert graph.probability(2, 1) == pytest.approx(0.3)
+
+    def test_self_loop_rejected(self):
+        graph = SocialNetwork()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, 0.5)
+
+    def test_invalid_probability_rejected(self):
+        graph = SocialNetwork()
+        with pytest.raises(InvalidProbabilityError):
+            graph.add_edge(1, 2, 1.5)
+        with pytest.raises(InvalidProbabilityError):
+            graph.add_edge(1, 2, -0.1)
+
+    def test_non_numeric_probability_rejected(self):
+        graph = SocialNetwork()
+        with pytest.raises(InvalidProbabilityError):
+            graph.add_edge(1, 2, "high")
+
+    def test_set_probability(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.set_probability(1, 2, 0.9)
+        assert graph.probability(1, 2) == pytest.approx(0.9)
+        assert graph.probability(2, 1) == pytest.approx(0.5)
+
+    def test_set_probability_missing_edge_raises(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.set_probability(1, 2, 0.5)
+
+    def test_probability_missing_edge_raises(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1)
+        graph.add_vertex(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.probability(1, 2)
+
+    def test_remove_edge(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_vertex(1)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_edges_reported_once(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        graph.add_edge(1, 3, 0.5)
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        as_sets = {frozenset(edge) for edge in edges}
+        assert as_sets == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_degree_and_neighbors(self, triangle_graph):
+        assert triangle_graph.degree("c") == 3
+        assert set(triangle_graph.neighbors("c")) == {"a", "b", "d"}
+        assert triangle_graph.neighbor_set("d") == {"c"}
+
+    def test_counts(self, triangle_graph):
+        assert triangle_graph.num_vertices() == 4
+        assert triangle_graph.num_edges() == 4
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge("d", "a", 0.5)
+        assert not triangle_graph.has_edge("d", "a")
+        assert clone.has_edge("d", "a")
+        assert clone.keywords("a") == triangle_graph.keywords("a")
+
+    def test_induced_subgraph(self, triangle_graph):
+        sub = triangle_graph.induced_subgraph({"a", "b", "c"})
+        assert sub.num_vertices() == 3
+        assert sub.num_edges() == 3
+        assert not sub.has_vertex("d")
+        assert sub.probability("a", "b") == triangle_graph.probability("a", "b")
+
+    def test_induced_subgraph_ignores_unknown_vertices(self, triangle_graph):
+        sub = triangle_graph.induced_subgraph({"a", "zzz"})
+        assert sub.num_vertices() == 1
+
+    def test_connected_component(self, triangle_graph):
+        assert triangle_graph.connected_component("a") == {"a", "b", "c", "d"}
+
+    def test_connected_components_two_parts(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(3, 4, 0.5)
+        graph.add_vertex(5)
+        components = graph.connected_components()
+        assert len(components) == 3
+        assert len(components[0]) == 2
+
+    def test_is_connected(self, triangle_graph):
+        assert triangle_graph.is_connected()
+        triangle_graph.add_vertex("island")
+        assert not triangle_graph.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert SocialNetwork().is_connected()
+
+    def test_keyword_domain(self, triangle_graph):
+        assert triangle_graph.keyword_domain() == frozenset({"movies", "books", "sports"})
+
+    def test_iteration_order_is_insertion_order(self):
+        graph = SocialNetwork()
+        for vertex in (5, 2, 9):
+            graph.add_vertex(vertex)
+        assert list(graph.vertices()) == [5, 2, 9]

@@ -1,0 +1,108 @@
+"""Unit tests for SubgraphView."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.subgraph import SubgraphView
+
+
+class TestConstruction:
+    def test_basic_view(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        assert len(view) == 3
+        assert "a" in view
+        assert "d" not in view
+
+    def test_unknown_vertex_rejected(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            SubgraphView(triangle_graph, {"a", "zzz"})
+
+    def test_center_must_be_member(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            SubgraphView(triangle_graph, {"a", "b"}, center="d")
+
+    def test_center_recorded(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b"}, center="a")
+        assert view.center == "a"
+
+    def test_equality_and_hash(self, triangle_graph):
+        view1 = SubgraphView(triangle_graph, {"a", "b"})
+        view2 = SubgraphView(triangle_graph, {"b", "a"})
+        view3 = SubgraphView(triangle_graph, {"a", "c"})
+        assert view1 == view2
+        assert hash(view1) == hash(view2)
+        assert view1 != view3
+
+
+class TestStructure:
+    def test_neighbors_restricted_to_view(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "d"})
+        assert set(view.neighbors("a")) == {"b"}
+
+    def test_neighbors_of_outside_vertex_raises(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b"})
+        with pytest.raises(VertexNotFoundError):
+            list(view.neighbors("c"))
+
+    def test_degree_within_view(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        assert view.degree("a") == 2
+        full_view = SubgraphView(triangle_graph, {"a", "b", "c", "d"})
+        assert full_view.degree("c") == 3
+
+    def test_edges_each_reported_once(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        edges = {frozenset(edge) for edge in view.edges()}
+        assert edges == {frozenset({"a", "b"}), frozenset({"b", "c"}), frozenset({"a", "c"})}
+        assert view.num_edges() == 3
+
+    def test_keywords_and_probability_delegate(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b"})
+        assert view.keywords("a") == triangle_graph.keywords("a")
+        assert view.probability("a", "b") == triangle_graph.probability("a", "b")
+
+    def test_keywords_outside_view_raises(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b"})
+        with pytest.raises(VertexNotFoundError):
+            view.keywords("c")
+
+
+class TestConnectivityAndRestriction:
+    def test_is_connected_true(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        assert view.is_connected()
+
+    def test_is_connected_false(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "d"})
+        assert not view.is_connected()
+
+    def test_empty_view_is_connected(self, triangle_graph):
+        assert SubgraphView(triangle_graph, set()).is_connected()
+
+    def test_component_of(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "d"})
+        assert view.component_of("a") == {"a", "b"}
+        assert view.component_of("d") == {"d"}
+
+    def test_restrict_keeps_center_when_possible(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"}, center="a")
+        restricted = view.restrict({"a", "b"})
+        assert restricted.center == "a"
+        assert restricted.vertices == frozenset({"a", "b"})
+
+    def test_restrict_drops_center_when_removed(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"}, center="a")
+        restricted = view.restrict({"b", "c"})
+        assert restricted.center is None
+
+    def test_restrict_intersects(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b"})
+        restricted = view.restrict({"b", "c", "d"})
+        assert restricted.vertices == frozenset({"b"})
+
+    def test_materialize(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        standalone = view.materialize()
+        assert standalone.num_vertices() == 3
+        assert standalone.num_edges() == 3
+        assert standalone.keywords("a") == triangle_graph.keywords("a")

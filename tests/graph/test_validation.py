@@ -1,0 +1,69 @@
+"""Unit tests for graph validation."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.social_network import SocialNetwork
+from repro.graph.validation import (
+    largest_connected_component,
+    require_connected,
+    validate_graph,
+)
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self, triangle_graph):
+        report = validate_graph(triangle_graph)
+        assert report.is_valid
+        assert report.issues == []
+        report.raise_if_invalid()  # should not raise
+
+    def test_asymmetric_adjacency_detected(self, triangle_graph):
+        # Break the invariant by reaching into the internals (simulating corruption).
+        triangle_graph._adj["a"].pop("b")
+        report = validate_graph(triangle_graph)
+        assert not report.is_valid
+        assert any("asymmetric" in issue for issue in report.issues)
+
+    def test_missing_probability_detected(self, triangle_graph):
+        triangle_graph._prob.pop(("a", "b"))
+        report = validate_graph(triangle_graph)
+        assert any("missing probability" in issue for issue in report.issues)
+
+    def test_out_of_range_probability_detected(self, triangle_graph):
+        triangle_graph._prob[("a", "b")] = 1.7
+        report = validate_graph(triangle_graph)
+        assert any("out of range" in issue for issue in report.issues)
+
+    def test_strict_mode_raises(self, triangle_graph):
+        triangle_graph._prob[("a", "b")] = -1.0
+        with pytest.raises(GraphError):
+            validate_graph(triangle_graph, strict=True)
+
+    def test_empty_graph_is_valid(self):
+        assert validate_graph(SocialNetwork()).is_valid
+
+
+class TestConnectivityHelpers:
+    def test_require_connected_passes(self, triangle_graph):
+        require_connected(triangle_graph)
+
+    def test_require_connected_raises(self, triangle_graph):
+        triangle_graph.add_vertex("island")
+        with pytest.raises(GraphError):
+            require_connected(triangle_graph)
+
+    def test_largest_connected_component(self):
+        graph = SocialNetwork(name="parts")
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        graph.add_edge(10, 11, 0.5)
+        graph.add_vertex(99, {"movies"})
+        lcc = largest_connected_component(graph)
+        assert lcc.num_vertices() == 3
+        assert lcc.has_edge(1, 2)
+        assert not lcc.has_vertex(10)
+
+    def test_largest_connected_component_of_empty_graph(self):
+        lcc = largest_connected_component(SocialNetwork())
+        assert lcc.num_vertices() == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the offline pre-computation (Algorithm 2)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.traversal import hop_subgraph
+from repro.index.precompute import precompute
+from repro.influence.propagation import influential_score
+from repro.keywords.bitvector import BitVector
+from repro.truss.support import edge_key
+
+
+class TestPrecomputeBasics:
+    def test_every_vertex_covered(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=2, thresholds=(0.1, 0.3))
+        assert data.num_vertices() == two_cliques_bridge.num_vertices()
+        assert set(data.vertex_aggregates) == set(two_cliques_bridge.vertices())
+
+    def test_radii_range(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=3)
+        aggregates = data.aggregates_of(0)
+        assert sorted(aggregates.per_radius) == [1, 2, 3]
+        assert list(data.supported_radii()) == [1, 2, 3]
+
+    def test_thresholds_sorted_and_deduplicated(self, triangle_graph):
+        data = precompute(triangle_graph, thresholds=(0.3, 0.1, 0.3))
+        assert data.thresholds == (0.1, 0.3)
+
+    def test_invalid_parameters_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            precompute(triangle_graph, max_radius=0)
+        with pytest.raises(GraphError):
+            precompute(triangle_graph, thresholds=())
+        with pytest.raises(GraphError):
+            precompute(triangle_graph, thresholds=(0.5, 1.0))
+
+    def test_restricted_vertex_set(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, vertices=[0, 5])
+        assert set(data.vertex_aggregates) == {0, 5}
+
+    def test_validate_radius(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=2)
+        data.validate_radius(1)
+        data.validate_radius(2)
+        with pytest.raises(GraphError):
+            data.validate_radius(3)
+        with pytest.raises(GraphError):
+            data.validate_radius(0)
+
+
+class TestKeywordAggregates:
+    def test_vertex_bitvector_matches_keywords(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=1)
+        expected = BitVector.from_keywords(triangle_graph.keywords("a"))
+        assert data.aggregates_of("a").keyword_bitvector == expected
+
+    def test_radius_bitvector_is_or_of_members(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=2)
+        view = hop_subgraph(triangle_graph, "a", 2)
+        expected = BitVector.empty()
+        for vertex in view:
+            expected = expected | BitVector.from_keywords(triangle_graph.keywords(vertex))
+        assert data.aggregates_of("a").for_radius(2).bitvector == expected
+
+    def test_bitvector_grows_with_radius(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=2)
+        aggregates = data.aggregates_of("a")
+        r1 = aggregates.for_radius(1).bitvector
+        r2 = aggregates.for_radius(2).bitvector
+        assert r2.contains_all(r1)
+
+
+class TestSupportAggregates:
+    def test_global_edge_supports_recorded(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=1)
+        assert data.global_edge_support[edge_key(0, 1)] == 2
+        assert data.global_edge_support[edge_key(3, 4)] == 0
+
+    def test_support_bound_is_max_over_hop_edges(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=2)
+        # Bridge vertex 4: its 1-hop subgraph contains edges (3,4) and (4,5)
+        # whose global supports are 0, but 2-hop reaches clique edges.
+        aggregates = data.aggregates_of(4)
+        assert aggregates.for_radius(1).support_upper_bound == 0
+        assert aggregates.for_radius(2).support_upper_bound == 2
+
+    def test_support_bound_monotone_in_radius(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=3)
+        for vertex in two_cliques_bridge.vertices():
+            aggregates = data.aggregates_of(vertex)
+            bounds = [aggregates.for_radius(r).support_upper_bound for r in (1, 2, 3)]
+            assert bounds == sorted(bounds)
+
+    def test_support_bound_upper_bounds_seed_support(self, two_cliques_bridge):
+        """The pre-computed bound dominates the true max support inside hop(v, r)."""
+        from repro.truss.support import max_support
+
+        data = precompute(two_cliques_bridge, max_radius=2)
+        for vertex in two_cliques_bridge.vertices():
+            view = hop_subgraph(two_cliques_bridge, vertex, 2)
+            assert data.aggregates_of(vertex).for_radius(2).support_upper_bound >= max_support(
+                view
+            )
+
+
+class TestScoreAggregates:
+    def test_score_bound_matches_hop_score(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=1, thresholds=(0.1,))
+        view = hop_subgraph(two_cliques_bridge, 0, 1)
+        expected = influential_score(two_cliques_bridge, view.vertices, 0.1)
+        bounds = dict(data.aggregates_of(0).for_radius(1).score_bounds)
+        assert bounds[0.1] == pytest.approx(expected)
+
+    def test_score_bounds_decrease_with_threshold(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=2, thresholds=(0.1, 0.2, 0.3))
+        for vertex in two_cliques_bridge.vertices():
+            bounds = data.aggregates_of(vertex).for_radius(2).score_bounds
+            scores = [sigma for _, sigma in bounds]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_score_bound_for_selects_largest_theta_not_exceeding(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=1, thresholds=(0.1, 0.3))
+        aggregates = data.aggregates_of(0).for_radius(1)
+        pairs = dict(aggregates.score_bounds)
+        assert aggregates.score_bound_for(0.2) == pytest.approx(pairs[0.1])
+        assert aggregates.score_bound_for(0.3) == pytest.approx(pairs[0.3])
+        assert aggregates.score_bound_for(0.35) == pytest.approx(pairs[0.3])
+        # theta below every pre-selected threshold yields +inf (never prune).
+        assert aggregates.score_bound_for(0.05) == float("inf")
+
+    def test_score_bound_grows_with_radius(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=3, thresholds=(0.1,))
+        for vertex in two_cliques_bridge.vertices():
+            aggregates = data.aggregates_of(vertex)
+            scores = [dict(aggregates.for_radius(r).score_bounds)[0.1] for r in (1, 2, 3)]
+            assert scores == sorted(scores)

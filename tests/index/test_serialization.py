@@ -1,0 +1,103 @@
+"""Unit tests for index (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.index.precompute import precompute
+from repro.index.serialization import (
+    load_index,
+    precomputed_from_dict,
+    precomputed_to_dict,
+    save_index,
+)
+from repro.index.tree import build_tree_index
+
+
+class TestPrecomputedRoundTrip:
+    def test_round_trip_preserves_aggregates(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=2, thresholds=(0.1, 0.3))
+        rebuilt = precomputed_from_dict(precomputed_to_dict(data))
+        assert rebuilt.max_radius == data.max_radius
+        assert rebuilt.thresholds == data.thresholds
+        assert set(rebuilt.vertex_aggregates) == set(data.vertex_aggregates)
+        for vertex in data.vertex_aggregates:
+            original = data.aggregates_of(vertex)
+            copy = rebuilt.aggregates_of(vertex)
+            assert copy.keyword_bitvector == original.keyword_bitvector
+            for radius in original.per_radius:
+                assert copy.for_radius(radius).bitvector == original.for_radius(radius).bitvector
+                assert (
+                    copy.for_radius(radius).support_upper_bound
+                    == original.for_radius(radius).support_upper_bound
+                )
+                for copied_pair, original_pair in zip(
+                    copy.for_radius(radius).score_bounds,
+                    original.for_radius(radius).score_bounds,
+                ):
+                    assert copied_pair[0] == pytest.approx(original_pair[0])
+                    assert copied_pair[1] == pytest.approx(original_pair[1])
+
+    def test_edge_supports_preserved(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=1)
+        rebuilt = precomputed_from_dict(precomputed_to_dict(data))
+        assert rebuilt.global_edge_support == data.global_edge_support
+
+    def test_string_vertices_round_trip(self, triangle_graph):
+        data = precompute(triangle_graph, max_radius=1)
+        rebuilt = precomputed_from_dict(precomputed_to_dict(data))
+        assert "a" in rebuilt.vertex_aggregates
+
+    def test_unsupported_version_rejected(self, triangle_graph):
+        payload = precomputed_to_dict(precompute(triangle_graph, max_radius=1))
+        payload["format_version"] = 99
+        with pytest.raises(SerializationError):
+            precomputed_from_dict(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            precomputed_from_dict({"format_version": 1})
+
+
+class TestIndexRoundTrip:
+    def test_save_and_load(self, tmp_path, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2, leaf_capacity=4, fanout=3)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(two_cliques_bridge, path)
+        assert loaded.describe() == index.describe()
+        assert set(loaded.root.subtree_vertices()) == set(index.root.subtree_vertices())
+
+    def test_loaded_index_answers_queries_identically(self, tmp_path, two_cliques_bridge):
+        from repro.query.params import make_topl_query
+        from repro.query.topl import TopLProcessor
+
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(two_cliques_bridge, path)
+
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+        original = TopLProcessor(two_cliques_bridge, index=index).query(query)
+        reloaded = TopLProcessor(two_cliques_bridge, index=loaded).query(query)
+        assert [c.vertices for c in original] == [c.vertices for c in reloaded]
+        assert list(original.scores) == pytest.approx(list(reloaded.scores))
+
+    def test_missing_file_rejected(self, tmp_path, triangle_graph):
+        with pytest.raises(SerializationError):
+            load_index(triangle_graph, tmp_path / "nope.json")
+
+    def test_corrupt_file_rejected(self, tmp_path, triangle_graph):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"fanout": 4}))
+        with pytest.raises(SerializationError):
+            load_index(triangle_graph, path)
+
+    def test_json_is_plain_text(self, tmp_path, triangle_graph):
+        index = build_tree_index(triangle_graph, max_radius=1)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        payload = json.loads(path.read_text())
+        assert payload["fanout"] == index.fanout
+        assert payload["precomputed"]["max_radius"] == 1

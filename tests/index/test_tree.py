@@ -1,0 +1,116 @@
+"""Unit tests for tree-index construction."""
+
+import pytest
+
+from repro.exceptions import IndexStateError
+from repro.graph.social_network import SocialNetwork
+from repro.index.node import EntryAggregates
+from repro.index.precompute import precompute
+from repro.index.tree import build_tree_index
+
+
+class TestBuildTreeIndex:
+    def test_all_vertices_stored(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        assert index.num_vertices() == two_cliques_bridge.num_vertices()
+        assert set(index.root.subtree_vertices()) == set(two_cliques_bridge.vertices())
+
+    def test_leaf_capacity_respected(self, small_world_graph):
+        index = build_tree_index(small_world_graph, max_radius=1, leaf_capacity=4, fanout=3)
+
+        def check(node):
+            if node.is_leaf:
+                assert 1 <= len(node.vertices) <= 4
+            else:
+                assert 2 <= len(node.children) <= 3 or node is index.root
+                for child in node.children:
+                    check(child)
+
+        check(index.root)
+
+    def test_height_grows_with_smaller_fanout(self, small_world_graph):
+        wide = build_tree_index(small_world_graph, max_radius=1, leaf_capacity=32, fanout=16)
+        narrow = build_tree_index(small_world_graph, max_radius=1, leaf_capacity=4, fanout=2)
+        assert narrow.height() >= wide.height()
+
+    def test_empty_graph_gives_empty_index(self):
+        graph = SocialNetwork()
+        index = build_tree_index(graph, max_radius=1)
+        assert index.root is None
+        assert index.num_vertices() == 0
+        assert index.height() == -1
+
+    def test_single_vertex_graph(self):
+        graph = SocialNetwork()
+        graph.add_vertex(1, {"movies"})
+        index = build_tree_index(graph, max_radius=1)
+        assert index.root is not None
+        assert index.root.is_leaf
+        assert index.num_vertices() == 1
+
+    def test_invalid_parameters_rejected(self, triangle_graph):
+        with pytest.raises(IndexStateError):
+            build_tree_index(triangle_graph, fanout=1)
+        with pytest.raises(IndexStateError):
+            build_tree_index(triangle_graph, leaf_capacity=0)
+
+    def test_reuses_precomputed_data(self, two_cliques_bridge):
+        data = precompute(two_cliques_bridge, max_radius=2, thresholds=(0.1,))
+        index = build_tree_index(two_cliques_bridge, precomputed=data)
+        assert index.precomputed is data
+        assert index.max_radius == 2
+        assert index.thresholds == (0.1,)
+
+    def test_vertex_aggregates_lookup(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        aggregates = index.vertex_aggregates(0)
+        assert aggregates.vertex == 0
+        with pytest.raises(IndexStateError):
+            index.vertex_aggregates(999)
+
+    def test_validate_radius(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        index.validate_radius(2)
+        with pytest.raises(Exception):
+            index.validate_radius(3)
+
+    def test_describe(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        summary = index.describe()
+        assert summary["num_vertices"] == 10
+        assert summary["max_radius"] == 2
+        assert summary["num_nodes"] == index.root.count_nodes()
+
+
+class TestAggregateSoundness:
+    """Parent aggregates must dominate every child (the pruning rules rely on it)."""
+
+    def _check_node(self, node, radius):
+        if node.is_leaf:
+            return
+        for child in node.children:
+            parent = node.aggregates.per_radius[radius]
+            child_aggregates = child.aggregates.per_radius[radius]
+            assert parent.bitvector.contains_all(child_aggregates.bitvector)
+            assert parent.support_upper_bound >= child_aggregates.support_upper_bound
+            parent_scores = dict(parent.score_bounds)
+            for theta, sigma in child_aggregates.score_bounds:
+                assert parent_scores[theta] >= sigma - 1e-9
+            self._check_node(child, radius)
+
+    def test_aggregates_dominate_children(self, small_world_graph):
+        index = build_tree_index(small_world_graph, max_radius=2, leaf_capacity=8, fanout=4)
+        for radius in (1, 2):
+            self._check_node(index.root, radius)
+
+    def test_root_aggregates_dominate_every_vertex(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        root = index.root.aggregates.per_radius[2]
+        for vertex in two_cliques_bridge.vertices():
+            record = index.vertex_aggregates(vertex).for_radius(2)
+            assert root.bitvector.contains_all(record.bitvector)
+            assert root.support_upper_bound >= record.support_upper_bound
+
+    def test_combine_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EntryAggregates.combine([])

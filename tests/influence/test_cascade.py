@@ -1,0 +1,76 @@
+"""Unit tests for the Monte-Carlo independent-cascade simulator."""
+
+import pytest
+
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.social_network import SocialNetwork
+from repro.influence.cascade import estimate_spread, simulate_independent_cascade
+
+
+@pytest.fixture
+def deterministic_graph() -> SocialNetwork:
+    """Probabilities 1.0 and 0.0 make cascade outcomes deterministic."""
+    graph = SocialNetwork()
+    graph.add_edge("s", "a", 1.0)
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 0.0)
+    graph.add_edge("c", "d", 1.0)
+    return graph
+
+
+class TestSimulateIndependentCascade:
+    def test_certain_edges_always_activate(self, deterministic_graph):
+        activated = simulate_independent_cascade(deterministic_graph, {"s"}, rng=1)
+        assert activated == frozenset({"s", "a", "b"})
+
+    def test_zero_probability_blocks(self, deterministic_graph):
+        for seed in range(5):
+            activated = simulate_independent_cascade(deterministic_graph, {"s"}, rng=seed)
+            assert "c" not in activated
+            assert "d" not in activated
+
+    def test_seeds_always_active(self, deterministic_graph):
+        activated = simulate_independent_cascade(deterministic_graph, {"c"}, rng=1)
+        assert "c" in activated
+        assert "d" in activated  # via the certain edge c-d
+
+    def test_empty_seed_rejected(self, deterministic_graph):
+        with pytest.raises(GraphError):
+            simulate_independent_cascade(deterministic_graph, set())
+
+    def test_unknown_seed_rejected(self, deterministic_graph):
+        with pytest.raises(VertexNotFoundError):
+            simulate_independent_cascade(deterministic_graph, {"zzz"})
+
+
+class TestEstimateSpread:
+    def test_deterministic_spread_has_zero_variance(self, deterministic_graph):
+        result = estimate_spread(deterministic_graph, {"s"}, num_simulations=20, rng=3)
+        assert result.mean_spread == pytest.approx(3.0)
+        assert result.std_spread == pytest.approx(0.0)
+        assert result.activation_probability("a") == pytest.approx(1.0)
+        assert result.activation_probability("d") == 0.0
+
+    def test_mean_between_seed_size_and_graph_size(self):
+        graph = SocialNetwork()
+        for v in range(6):
+            graph.add_vertex(v)
+        for v in range(5):
+            graph.add_edge(v, v + 1, 0.5)
+        result = estimate_spread(graph, {0}, num_simulations=50, rng=5)
+        assert 1.0 <= result.mean_spread <= 6.0
+
+    def test_invalid_simulation_count(self, deterministic_graph):
+        with pytest.raises(GraphError):
+            estimate_spread(deterministic_graph, {"s"}, num_simulations=0)
+
+    def test_reproducible_with_seed(self, deterministic_graph):
+        graph = SocialNetwork()
+        for v in range(8):
+            graph.add_vertex(v)
+        for v in range(7):
+            graph.add_edge(v, v + 1, 0.6)
+        first = estimate_spread(graph, {0}, num_simulations=30, rng=11)
+        second = estimate_spread(graph, {0}, num_simulations=30, rng=11)
+        assert first.mean_spread == second.mean_spread
+        assert first.activation_frequency == second.activation_frequency

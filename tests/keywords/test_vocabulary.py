@@ -1,0 +1,126 @@
+"""Unit tests for vocabularies and keyword distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.keywords.vocabulary import (
+    GaussianKeywordDistribution,
+    UniformKeywordDistribution,
+    Vocabulary,
+    ZipfKeywordDistribution,
+    default_vocabulary,
+    distribution_names,
+    make_distribution,
+)
+
+
+class TestVocabulary:
+    def test_basic_properties(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assert len(vocabulary) == 3
+        assert "b" in vocabulary
+        assert vocabulary[0] == "a"
+        assert vocabulary.index_of("c") == 2
+
+    def test_duplicates_removed_preserving_order(self):
+        vocabulary = Vocabulary(["a", "b", "a", "c"])
+        assert vocabulary.keywords == ("a", "b", "c")
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(DatasetError):
+            Vocabulary([])
+
+    def test_unknown_keyword_rejected(self):
+        vocabulary = Vocabulary(["a"])
+        with pytest.raises(DatasetError):
+            vocabulary.index_of("z")
+
+    def test_sample_without_replacement(self):
+        vocabulary = Vocabulary([f"kw{i}" for i in range(10)])
+        sample = vocabulary.sample(5, rng=1)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_sample_too_many_rejected(self):
+        vocabulary = Vocabulary(["a", "b"])
+        with pytest.raises(DatasetError):
+            vocabulary.sample(3)
+
+    def test_default_vocabulary_sizes(self):
+        assert len(default_vocabulary(5)) == 5
+        assert len(default_vocabulary(80)) == 80
+        assert "movies" in default_vocabulary(10)
+
+    def test_default_vocabulary_invalid_size(self):
+        with pytest.raises(DatasetError):
+            default_vocabulary(0)
+
+
+class TestDistributions:
+    def _frequencies(self, distribution, draws=400, per_draw=1, seed=3):
+        rng = random.Random(seed)
+        counter = Counter()
+        for _ in range(draws):
+            counter.update(distribution.sample_keywords(per_draw, rng=rng))
+        return counter
+
+    def test_uniform_is_roughly_flat(self):
+        vocabulary = default_vocabulary(10)
+        counts = self._frequencies(UniformKeywordDistribution(vocabulary))
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_zipf_is_skewed_towards_low_ranks(self):
+        vocabulary = default_vocabulary(20)
+        counts = self._frequencies(ZipfKeywordDistribution(vocabulary, exponent=1.2))
+        first = counts.get(vocabulary[0], 0)
+        last = counts.get(vocabulary[-1], 0)
+        assert first > last
+
+    def test_gaussian_is_peaked_at_the_middle(self):
+        vocabulary = default_vocabulary(21)
+        counts = self._frequencies(GaussianKeywordDistribution(vocabulary))
+        middle = counts.get(vocabulary[10], 0)
+        edge = counts.get(vocabulary[0], 0)
+        assert middle > edge
+
+    def test_sample_count_respected_and_distinct(self):
+        vocabulary = default_vocabulary(15)
+        distribution = UniformKeywordDistribution(vocabulary)
+        sample = distribution.sample_keywords(6, rng=1)
+        assert len(sample) == 6
+
+    def test_sample_zero_or_negative(self):
+        vocabulary = default_vocabulary(5)
+        distribution = UniformKeywordDistribution(vocabulary)
+        assert distribution.sample_keywords(0) == frozenset()
+        assert distribution.sample_keywords(-2) == frozenset()
+
+    def test_sample_capped_at_domain(self):
+        vocabulary = default_vocabulary(4)
+        distribution = ZipfKeywordDistribution(vocabulary)
+        assert len(distribution.sample_keywords(10, rng=1)) == 4
+
+    def test_invalid_parameters_rejected(self):
+        vocabulary = default_vocabulary(5)
+        with pytest.raises(DatasetError):
+            ZipfKeywordDistribution(vocabulary, exponent=0)
+        with pytest.raises(DatasetError):
+            GaussianKeywordDistribution(vocabulary, std_fraction=0)
+
+
+class TestFactory:
+    def test_make_distribution_by_name(self):
+        vocabulary = default_vocabulary(5)
+        assert isinstance(make_distribution("uniform", vocabulary), UniformKeywordDistribution)
+        assert isinstance(make_distribution("Gaussian", vocabulary), GaussianKeywordDistribution)
+        assert isinstance(make_distribution("ZIPF", vocabulary), ZipfKeywordDistribution)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            make_distribution("poisson", default_vocabulary(5))
+
+    def test_distribution_names(self):
+        assert set(distribution_names()) == {"uniform", "gaussian", "zipf"}

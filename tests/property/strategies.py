@@ -1,0 +1,51 @@
+"""Hypothesis strategies for generating small random social networks."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.social_network import SocialNetwork
+
+KEYWORD_POOL = ("movies", "books", "sports", "travel", "food", "music")
+
+
+@st.composite
+def social_networks(
+    draw,
+    min_vertices: int = 2,
+    max_vertices: int = 14,
+    edge_density: float = 0.35,
+    connected: bool = False,
+):
+    """Generate a random small social network with keywords and probabilities."""
+    num_vertices = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = SocialNetwork(name="hypothesis")
+    for vertex in range(num_vertices):
+        keywords = draw(
+            st.sets(st.sampled_from(KEYWORD_POOL), min_size=1, max_size=3)
+        )
+        graph.add_vertex(vertex, keywords)
+
+    pairs = [(u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)]
+    for u, v in pairs:
+        if draw(st.floats(min_value=0.0, max_value=1.0)) < edge_density:
+            p_uv = draw(st.floats(min_value=0.05, max_value=0.95))
+            p_vu = draw(st.floats(min_value=0.05, max_value=0.95))
+            graph.add_edge(u, v, p_uv, p_vu)
+
+    if connected and num_vertices > 1:
+        # Stitch components together with a spanning chain so connectivity holds.
+        previous = 0
+        for vertex in range(1, num_vertices):
+            if not graph.has_edge(previous, vertex):
+                graph.add_edge(previous, vertex, 0.5, 0.5)
+            previous = vertex
+    return graph
+
+
+@st.composite
+def keyword_sets(draw, min_size: int = 1, max_size: int = 4):
+    """Generate a non-empty query keyword set from the shared pool."""
+    return frozenset(
+        draw(st.sets(st.sampled_from(KEYWORD_POOL), min_size=min_size, max_size=max_size))
+    )

@@ -1,0 +1,100 @@
+"""Property-based tests for the diversity score (monotone + submodular) and greedy selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.influence.propagation import InfluencedCommunity
+from repro.pruning.diversity import coverage_map, diversity_score, marginal_gain
+from repro.query.dtopl import greedy_select_diversified
+from repro.query.baselines.greedy_wop import greedy_without_pruning
+from repro.query.baselines.optimal import optimal_selection
+from repro.query.results import SeedCommunity
+
+
+@st.composite
+def influenced_communities(draw, max_communities=6, universe_size=12):
+    """Generate a list of synthetic influenced communities over a small universe."""
+    count = draw(st.integers(min_value=1, max_value=max_communities))
+    communities = []
+    for index in range(count):
+        size = draw(st.integers(min_value=1, max_value=universe_size))
+        members = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=universe_size - 1),
+                min_size=1,
+                max_size=size,
+            )
+        )
+        seed = {min(members)}
+        cpp = {}
+        for vertex in members:
+            cpp[vertex] = 1.0 if vertex in seed else draw(
+                st.floats(min_value=0.1, max_value=0.99)
+            )
+        influenced = InfluencedCommunity(
+            seed_vertices=frozenset(seed), cpp=cpp, threshold=0.1
+        )
+        communities.append(
+            SeedCommunity(
+                center=min(members),
+                vertices=frozenset(seed),
+                influenced=influenced,
+                k=3,
+                radius=2,
+            )
+        )
+    return communities
+
+
+@settings(max_examples=50, deadline=None)
+@given(communities=influenced_communities())
+def test_diversity_monotonicity(communities):
+    """Adding a community to the set never decreases D(S)."""
+    influenced = [community.influenced for community in communities]
+    for i in range(1, len(influenced) + 1):
+        assert diversity_score(influenced[:i]) >= diversity_score(influenced[: i - 1]) - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(communities=influenced_communities(max_communities=5))
+def test_diversity_submodularity(communities):
+    """Marginal gains shrink as the selection grows."""
+    if len(communities) < 2:
+        return
+    candidate = communities[-1].influenced
+    rest = [community.influenced for community in communities[:-1]]
+    for i in range(len(rest)):
+        gain_small = marginal_gain(candidate, coverage_map(rest[:i]))
+        gain_large = marginal_gain(candidate, coverage_map(rest[: i + 1]))
+        assert gain_small >= gain_large - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(communities=influenced_communities())
+def test_diversity_bounded_by_sum_of_scores(communities):
+    influenced = [community.influenced for community in communities]
+    assert diversity_score(influenced) <= sum(c.score for c in influenced) + 1e-9
+    best_single = max(c.score for c in influenced)
+    assert diversity_score(influenced) >= best_single - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(communities=influenced_communities(max_communities=6), top_l=st.integers(1, 4))
+def test_lazy_greedy_matches_eager_score(communities, top_l):
+    lazy, _ = greedy_select_diversified(communities, top_l)
+    eager, _ = greedy_without_pruning(communities, top_l)
+    lazy_score = diversity_score([c.influenced for c in lazy])
+    eager_score = diversity_score([c.influenced for c in eager])
+    assert lazy_score == pytest.approx(eager_score)
+    assert len(lazy) == len(eager) == min(top_l, len(communities))
+
+
+@settings(max_examples=30, deadline=None)
+@given(communities=influenced_communities(max_communities=5), top_l=st.integers(1, 3))
+def test_greedy_achieves_submodular_guarantee(communities, top_l):
+    """Greedy reaches at least (1 - 1/e) of the optimum over the same candidates."""
+    greedy, _ = greedy_select_diversified(communities, top_l)
+    _, optimal_score, _ = optimal_selection(communities, top_l)
+    greedy_score = diversity_score([c.influenced for c in greedy])
+    assert greedy_score >= (1 - 1 / 2.718281828459045) * optimal_score - 1e-9

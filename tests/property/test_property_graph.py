@@ -1,0 +1,88 @@
+"""Property-based tests for the graph substrate and keyword signatures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.subgraph import SubgraphView
+from repro.graph.traversal import bfs_distances, hop_subgraph
+from repro.keywords.bitvector import BitVector, aggregate
+
+from tests.property.strategies import keyword_sets, social_networks
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks())
+def test_handshake_lemma(graph):
+    """Sum of degrees equals twice the number of edges."""
+    assert sum(graph.degree(v) for v in graph.vertices()) == 2 * graph.num_edges()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks())
+def test_components_partition_vertices(graph):
+    components = graph.connected_components()
+    union = set()
+    total = 0
+    for component in components:
+        assert not (union & component)
+        union |= component
+        total += len(component)
+    assert union == set(graph.vertices())
+    assert total == graph.num_vertices()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks(connected=True), radius=st.integers(min_value=0, max_value=4))
+def test_hop_subgraph_matches_bfs(graph, radius):
+    center = next(iter(graph.vertices()))
+    view = hop_subgraph(graph, center, radius)
+    distances = bfs_distances(graph, center)
+    expected = {v for v, d in distances.items() if d <= radius}
+    assert view.vertices == frozenset(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks(connected=True), radius=st.integers(min_value=1, max_value=3))
+def test_hop_subgraph_monotone_in_radius(graph, radius):
+    center = next(iter(graph.vertices()))
+    smaller = hop_subgraph(graph, center, radius - 1)
+    larger = hop_subgraph(graph, center, radius)
+    assert smaller.vertices <= larger.vertices
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks())
+def test_induced_subgraph_round_trip(graph):
+    """Inducing on all vertices reproduces the edge set."""
+    copy = graph.induced_subgraph(list(graph.vertices()))
+    assert copy.num_vertices() == graph.num_vertices()
+    assert copy.num_edges() == graph.num_edges()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=social_networks())
+def test_subgraph_view_edges_subset_of_parent(graph):
+    vertices = list(graph.vertices())[: max(1, graph.num_vertices() // 2)]
+    view = SubgraphView(graph, vertices)
+    for u, v in view.edges():
+        assert graph.has_edge(u, v)
+        assert u in view and v in view
+
+
+@settings(max_examples=60, deadline=None)
+@given(keywords_a=keyword_sets(), keywords_b=keyword_sets())
+def test_bitvector_no_false_negatives(keywords_a, keywords_b):
+    """If two keyword sets share a keyword, their signatures always intersect."""
+    vector_a = BitVector.from_keywords(keywords_a)
+    vector_b = BitVector.from_keywords(keywords_b)
+    if keywords_a & keywords_b:
+        assert vector_a.intersects(vector_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(groups=st.lists(keyword_sets(), min_size=1, max_size=6))
+def test_bitvector_aggregation_contains_members(groups):
+    vectors = [BitVector.from_keywords(group) for group in groups]
+    combined = aggregate(vectors)
+    for vector in vectors:
+        assert combined.contains_all(vector)

@@ -1,0 +1,98 @@
+"""Property-based tests for the MIA propagation model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.influence.mia import maximum_influence_paths, user_to_user_propagation
+from repro.influence.propagation import community_propagation, influential_score
+
+from tests.property.strategies import social_networks
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_upp_values_are_probabilities(graph):
+    source = next(iter(graph.vertices()))
+    probabilities = maximum_influence_paths(graph, source)
+    assert probabilities[source] == 1.0
+    assert all(0.0 < value <= 1.0 for value in probabilities.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(connected=True), threshold=st.sampled_from([0.0, 0.1, 0.3, 0.6]))
+def test_threshold_truncation_is_exact(graph, threshold):
+    """Truncated propagation returns exactly the >= threshold subset of the full run."""
+    source = next(iter(graph.vertices()))
+    full = maximum_influence_paths(graph, source, threshold=0.0)
+    truncated = maximum_influence_paths(graph, source, threshold=threshold)
+    expected = {v: p for v, p in full.items() if p >= threshold}
+    assert set(truncated) == set(expected)
+    for vertex, probability in expected.items():
+        assert truncated[vertex] == pytest.approx(probability)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_upp_dominates_single_edge_probability(graph):
+    """The best path to a neighbour is at least as good as the direct edge."""
+    source = next(iter(graph.vertices()))
+    probabilities = maximum_influence_paths(graph, source)
+    for neighbour in graph.neighbors(source):
+        assert probabilities[neighbour] >= graph.probability(source, neighbour) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=social_networks(connected=True), theta=st.sampled_from([0.05, 0.2, 0.4]))
+def test_cpp_dominates_member_upp(graph, theta):
+    """cpp(g, v) >= upp(u, v) for every member u of the seed community."""
+    vertices = list(graph.vertices())
+    seeds = frozenset(vertices[: max(1, len(vertices) // 3)])
+    influenced = community_propagation(graph, seeds, threshold=theta)
+    sample_seed = next(iter(seeds))
+    member_probabilities = maximum_influence_paths(graph, sample_seed, threshold=theta)
+    for vertex, probability in member_probabilities.items():
+        if probability >= theta:
+            assert influenced.cpp_of(vertex) >= probability - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_score_monotone_in_threshold(graph):
+    """Raising theta can only shrink the influenced community and its score."""
+    vertices = list(graph.vertices())
+    seeds = frozenset(vertices[:2])
+    scores = [influential_score(graph, seeds, theta) for theta in (0.05, 0.2, 0.5)]
+    assert scores[0] >= scores[1] >= scores[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_score_monotone_in_seed_set(graph):
+    """Adding seed vertices never decreases the influential score."""
+    vertices = list(graph.vertices())
+    small = frozenset(vertices[:1])
+    large = frozenset(vertices[: max(2, len(vertices) // 2)])
+    assert influential_score(graph, large, 0.1) >= influential_score(graph, small, 0.1) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_score_at_least_seed_size(graph):
+    """Members contribute cpp = 1 each, so sigma(g) >= |V(g)|."""
+    vertices = list(graph.vertices())
+    seeds = frozenset(vertices[:3]) if len(vertices) >= 3 else frozenset(vertices)
+    assert influential_score(graph, seeds, 0.3) >= len(seeds) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=social_networks(connected=True))
+def test_symmetry_of_reachability_not_probability(graph):
+    """upp is positive in both directions between connected vertices (weights may differ)."""
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        return
+    u, v = vertices[0], vertices[1]
+    forward = user_to_user_propagation(graph, u, v)
+    backward = user_to_user_propagation(graph, v, u)
+    assert (forward > 0) == (backward > 0)

@@ -1,0 +1,104 @@
+"""Property-based tests for end-to-end query soundness.
+
+The key invariant of the whole system: for any random graph and any query,
+the index-based TopL-ICDE algorithm (with all pruning enabled) returns exactly
+the same scores as the brute-force enumeration — i.e. every pruning rule and
+the index traversal are *safe*.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.tree import build_tree_index
+from repro.pruning.stats import PruningConfig
+from repro.query.baselines.bruteforce import bruteforce_topl
+from repro.query.params import make_topl_query
+from repro.query.seed import is_valid_seed_community
+from repro.query.topl import TopLProcessor
+
+from tests.property.strategies import keyword_sets, social_networks
+
+QUERY_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**QUERY_SETTINGS)
+@given(
+    graph=social_networks(min_vertices=4, max_vertices=12, edge_density=0.5, connected=True),
+    keywords=keyword_sets(),
+    k=st.integers(min_value=2, max_value=4),
+    radius=st.integers(min_value=1, max_value=2),
+    theta=st.sampled_from([0.1, 0.2, 0.3]),
+    top_l=st.integers(min_value=1, max_value=4),
+)
+def test_indexed_query_matches_bruteforce(graph, keywords, k, radius, theta, top_l):
+    query = make_topl_query(keywords, k=k, radius=radius, theta=theta, top_l=top_l)
+    index = build_tree_index(graph, max_radius=2, leaf_capacity=3, fanout=3)
+    indexed = TopLProcessor(graph, index=index).query(query)
+    brute = bruteforce_topl(graph, query)
+    assert list(indexed.scores) == pytest.approx(list(brute.scores))
+
+
+@settings(**QUERY_SETTINGS)
+@given(
+    graph=social_networks(min_vertices=4, max_vertices=12, edge_density=0.5, connected=True),
+    keywords=keyword_sets(),
+    k=st.integers(min_value=2, max_value=4),
+    theta=st.sampled_from([0.1, 0.3]),
+)
+def test_results_satisfy_every_constraint(graph, keywords, k, theta):
+    query = make_topl_query(keywords, k=k, radius=2, theta=theta, top_l=5)
+    index = build_tree_index(graph, max_radius=2, leaf_capacity=3, fanout=3)
+    result = TopLProcessor(graph, index=index).query(query)
+    for community in result:
+        assert is_valid_seed_community(graph, community.vertices, community.center, query)
+        assert all(p >= theta for p in community.influenced.cpp.values())
+        assert community.score >= len(community.vertices) - 1e-9
+
+
+@settings(**QUERY_SETTINGS)
+@given(
+    graph=social_networks(min_vertices=4, max_vertices=12, edge_density=0.5, connected=True),
+    keywords=keyword_sets(),
+    k=st.integers(min_value=2, max_value=3),
+)
+def test_pruning_configurations_agree(graph, keywords, k):
+    """Any subset of the pruning rules yields the same answers (all rules are safe)."""
+    query = make_topl_query(keywords, k=k, radius=2, theta=0.1, top_l=3)
+    index = build_tree_index(graph, max_radius=2, leaf_capacity=3, fanout=3)
+    reference = None
+    for config in (
+        PruningConfig.none_enabled(),
+        PruningConfig.keyword_only(),
+        PruningConfig.keyword_and_support(),
+        PruningConfig.all_enabled(),
+    ):
+        result = TopLProcessor(graph, index=index, pruning=config).query(query)
+        scores = list(result.scores)
+        if reference is None:
+            reference = scores
+        else:
+            assert scores == pytest.approx(reference)
+
+
+@settings(**QUERY_SETTINGS)
+@given(
+    graph=social_networks(min_vertices=4, max_vertices=12, edge_density=0.5, connected=True),
+    keywords=keyword_sets(),
+    smaller=st.integers(min_value=1, max_value=2),
+)
+def test_top_l_prefix_property(graph, keywords, smaller):
+    """The top-L result is a prefix of the top-(L+2) result (same scores)."""
+    index = build_tree_index(graph, max_radius=2, leaf_capacity=3, fanout=3)
+    processor = TopLProcessor(graph, index=index)
+    small_query = make_topl_query(keywords, k=3, radius=2, theta=0.1, top_l=smaller)
+    large_query = make_topl_query(keywords, k=3, radius=2, theta=0.1, top_l=smaller + 2)
+    small_result = processor.query(small_query)
+    large_result = processor.query(large_query)
+    assert list(small_result.scores) == pytest.approx(
+        list(large_result.scores)[: len(small_result)]
+    )

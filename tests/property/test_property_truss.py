@@ -1,0 +1,78 @@
+"""Property-based tests for the truss / core substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.subgraph import SubgraphView
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.kcore import core_decomposition, maximal_kcore
+from repro.truss.ktruss import is_ktruss, maximal_ktruss
+from repro.truss.support import edge_support
+
+from tests.property.strategies import social_networks
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(), k=st.integers(min_value=2, max_value=6))
+def test_maximal_ktruss_satisfies_support_condition(graph, k):
+    """Every edge of the extracted k-truss has support >= k - 2 inside it."""
+    result = maximal_ktruss(graph, k)
+    if result.is_empty:
+        return
+    view = SubgraphView(graph, result.vertices)
+    truss_view_supports = edge_support(view)
+    for edge in result.edges:
+        assert truss_view_supports[edge] >= k - 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(), k=st.integers(min_value=3, max_value=6))
+def test_ktruss_nested_in_lower_k(graph, k):
+    """The k-truss is contained in the (k-1)-truss."""
+    higher = maximal_ktruss(graph, k)
+    lower = maximal_ktruss(graph, k - 1)
+    assert higher.edges <= lower.edges
+    assert higher.vertices <= lower.vertices
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks())
+def test_truss_decomposition_consistent_with_extraction(graph):
+    """Edges with trussness >= k are exactly the edges of the maximal k-truss."""
+    decomposition = truss_decomposition(graph)
+    for k in (3, 4):
+        expected = maximal_ktruss(graph, k).edges
+        derived = {key for key, value in decomposition.edge_trussness.items() if value >= k}
+        assert derived == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(), k=st.integers(min_value=1, max_value=5))
+def test_kcore_degree_invariant(graph, k):
+    """Every vertex of the k-core has degree >= k inside the k-core."""
+    core = maximal_kcore(graph, k)
+    if not core:
+        return
+    view = SubgraphView(graph, core)
+    assert all(view.degree(v) >= k for v in core)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks())
+def test_core_numbers_bounded_by_degree(graph):
+    decomposition = core_decomposition(graph)
+    for vertex in graph.vertices():
+        assert 0 <= decomposition.core_of(vertex) <= graph.degree(vertex)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=social_networks(), k=st.integers(min_value=2, max_value=5))
+def test_maximal_ktruss_is_idempotent(graph, k):
+    """Re-running the extraction on the truss's own vertex set loses no edge."""
+    result = maximal_ktruss(graph, k)
+    if result.is_empty:
+        return
+    view = SubgraphView(graph, result.vertices)
+    again = maximal_ktruss(view, k)
+    assert result.edges <= again.edges
+    assert result.vertices <= again.vertices

@@ -1,0 +1,54 @@
+"""Unit tests for the index-level pruning rules (Lemmas 5-7)."""
+
+from repro.keywords.bitvector import BitVector
+from repro.pruning.index_rules import (
+    entry_priority,
+    index_keyword_prune,
+    index_score_prune,
+    index_support_prune,
+)
+
+
+class TestIndexKeywordPrune:
+    def test_disjoint_signatures_pruned(self):
+        entry = BitVector.from_keywords({"movies"})
+        query = BitVector.from_keywords({"movies"})
+        assert not index_keyword_prune(entry, query)
+        assert index_keyword_prune(BitVector.empty(), query)
+
+    def test_superset_signature_kept(self):
+        entry = BitVector.from_keywords({"movies", "books", "sports"})
+        query = BitVector.from_keywords({"sports"})
+        assert not index_keyword_prune(entry, query)
+
+
+class TestIndexSupportPrune:
+    def test_comparison_against_k_minus_two(self):
+        assert index_support_prune(entry_support_bound=1, k=4)
+        assert not index_support_prune(entry_support_bound=2, k=4)
+        assert not index_support_prune(entry_support_bound=0, k=2)
+
+
+class TestIndexScorePrune:
+    def test_prunes_when_bound_not_better(self):
+        bounds = [(0.1, 30.0), (0.3, 10.0)]
+        assert index_score_prune(bounds, theta=0.3, current_lth_score=10.0)
+        assert index_score_prune(bounds, theta=0.3, current_lth_score=15.0)
+        assert not index_score_prune(bounds, theta=0.3, current_lth_score=9.0)
+
+    def test_uses_applicable_threshold(self):
+        bounds = [(0.1, 30.0), (0.3, 10.0)]
+        # theta = 0.2 falls back to the 0.1 bound (30), which beats 20.
+        assert not index_score_prune(bounds, theta=0.2, current_lth_score=20.0)
+
+    def test_never_prunes_before_l_results(self):
+        bounds = [(0.1, 1.0)]
+        assert not index_score_prune(bounds, theta=0.1, current_lth_score=float("-inf"))
+
+
+class TestEntryPriority:
+    def test_priority_is_applicable_bound(self):
+        bounds = [(0.1, 30.0), (0.3, 10.0)]
+        assert entry_priority(bounds, 0.1) == 30.0
+        assert entry_priority(bounds, 0.3) == 10.0
+        assert entry_priority(bounds, 0.05) == float("inf")

@@ -1,0 +1,87 @@
+"""Unit tests for the community-level pruning rules (Lemmas 1-4)."""
+
+import pytest
+
+from repro.graph.subgraph import SubgraphView
+from repro.keywords.bitvector import BitVector
+from repro.pruning.rules import (
+    center_has_query_keyword,
+    edge_support_prune,
+    has_any_query_keyword,
+    keyword_prune_by_bitvector,
+    radius_prune,
+    radius_violations,
+    score_prune,
+    select_score_bound,
+    support_prune,
+)
+
+
+class TestKeywordPruning:
+    def test_center_with_keyword_not_pruned(self, triangle_graph):
+        assert center_has_query_keyword(triangle_graph, "a", frozenset({"movies"}))
+        assert not center_has_query_keyword(triangle_graph, "d", frozenset({"movies"}))
+
+    def test_bitvector_pruning_safe(self):
+        candidate = BitVector.from_keywords({"movies", "books"})
+        query = BitVector.from_keywords({"books"})
+        assert not keyword_prune_by_bitvector(candidate, query)
+        empty_candidate = BitVector.empty()
+        assert keyword_prune_by_bitvector(empty_candidate, query)
+
+    def test_exact_keyword_check(self, triangle_graph):
+        view = SubgraphView(triangle_graph, {"a", "b", "c"})
+        assert has_any_query_keyword(view, frozenset({"books"}))
+        assert not has_any_query_keyword(view, frozenset({"gaming"}))
+
+
+class TestSupportPruning:
+    def test_threshold(self):
+        assert support_prune(support_upper_bound=1, k=4)  # needs 2
+        assert not support_prune(support_upper_bound=2, k=4)
+        assert not support_prune(support_upper_bound=0, k=2)  # k=2 needs 0
+
+    def test_edge_level(self):
+        assert edge_support_prune([0, 1, 1], k=4)
+        assert not edge_support_prune([0, 2, 1], k=4)
+        # No edges at all: nothing can satisfy the truss condition, so pruning
+        # is (vacuously) safe.
+        assert edge_support_prune([], k=4)
+
+
+class TestRadiusPruning:
+    def test_violations(self, two_cliques_bridge):
+        view = SubgraphView(two_cliques_bridge, set(range(10)))
+        far = radius_violations(view, 0, radius=2)
+        # From vertex 0 inside the full view: clique A and bridge vertex 4 are
+        # within 2 hops; 5 and clique B are farther.
+        assert far == frozenset({5, 6, 7, 8, 9})
+
+    def test_no_violations_inside_clique(self, two_cliques_bridge):
+        view = SubgraphView(two_cliques_bridge, set(range(4)))
+        assert radius_violations(view, 0, radius=1) == frozenset()
+
+    def test_radius_prune_only_when_center_isolated(self, two_cliques_bridge):
+        whole = SubgraphView(two_cliques_bridge, set(range(10)))
+        assert not radius_prune(whole, 0, radius=1)
+        isolated = SubgraphView(two_cliques_bridge, {0, 9})
+        assert radius_prune(isolated, 0, radius=2)
+
+
+class TestScorePruning:
+    def test_prunes_only_when_bound_cannot_beat_lth(self):
+        assert score_prune(score_upper_bound=10.0, current_lth_score=10.0)
+        assert score_prune(score_upper_bound=9.0, current_lth_score=10.0)
+        assert not score_prune(score_upper_bound=11.0, current_lth_score=10.0)
+
+    def test_never_prunes_before_l_results(self):
+        assert not score_prune(score_upper_bound=0.5, current_lth_score=float("-inf"))
+
+    def test_select_score_bound(self):
+        bounds = [(0.1, 40.0), (0.2, 25.0), (0.3, 12.0)]
+        assert select_score_bound(bounds, 0.1) == 40.0
+        assert select_score_bound(bounds, 0.25) == 25.0
+        assert select_score_bound(bounds, 0.3) == 12.0
+        assert select_score_bound(bounds, 0.9) == 12.0
+        assert select_score_bound(bounds, 0.05) == float("inf")
+        assert select_score_bound([], 0.2) == float("inf")

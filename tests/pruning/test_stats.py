@@ -1,0 +1,45 @@
+"""Unit tests for pruning configuration and counters."""
+
+from repro.pruning.stats import ABLATION_CONFIGS, PruningConfig, PruningCounters
+
+
+class TestPruningConfig:
+    def test_factories(self):
+        assert PruningConfig.all_enabled() == PruningConfig(True, True, True)
+        assert PruningConfig.keyword_only() == PruningConfig(True, False, False)
+        assert PruningConfig.keyword_and_support() == PruningConfig(True, True, False)
+        assert PruningConfig.none_enabled() == PruningConfig(False, False, False)
+
+    def test_labels(self):
+        assert PruningConfig.all_enabled().label() == "keyword + support + score"
+        assert PruningConfig.keyword_only().label() == "keyword"
+        assert PruningConfig.none_enabled().label() == "no pruning"
+
+    def test_ablation_configs_order(self):
+        assert ABLATION_CONFIGS[0] == PruningConfig.keyword_only()
+        assert ABLATION_CONFIGS[1] == PruningConfig.keyword_and_support()
+        assert ABLATION_CONFIGS[2] == PruningConfig.all_enabled()
+
+    def test_config_is_hashable_and_frozen(self):
+        assert len({PruningConfig.all_enabled(), PruningConfig.all_enabled()}) == 1
+
+
+class TestPruningCounters:
+    def test_totals(self):
+        counters = PruningCounters(keyword=2, support=1, radius=3, score=4, index_keyword=5)
+        assert counters.community_level == 10
+        assert counters.index_level == 5
+        assert counters.total == 15
+
+    def test_merge(self):
+        first = PruningCounters(keyword=1, index_score=2)
+        second = PruningCounters(keyword=3, diversity=1)
+        first.merge(second)
+        assert first.keyword == 4
+        assert first.index_score == 2
+        assert first.diversity == 1
+
+    def test_as_dict_keys(self):
+        payload = PruningCounters().as_dict()
+        assert payload["total"] == 0
+        assert set(payload) >= {"keyword", "support", "radius", "score", "total"}

@@ -1,0 +1,106 @@
+"""Unit tests for the baseline methods (ATindex, brute force, k-core comparator)."""
+
+import pytest
+
+from repro.query.baselines.atindex import ATIndex, atindex_topl
+from repro.query.baselines.bruteforce import all_seed_communities, bruteforce_topl
+from repro.query.baselines.kcore_baseline import compare_with_kcore, kcore_community
+from repro.query.params import make_topl_query
+from repro.query.topl import topl_icde
+
+
+class TestBruteForce:
+    def test_matches_expected_communities(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+        result = bruteforce_topl(two_cliques_bridge, query)
+        found = {community.vertices for community in result}
+        assert found == {frozenset(range(4)), frozenset(range(6, 10))}
+
+    def test_restricted_centers(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=5)
+        result = bruteforce_topl(two_cliques_bridge, query, centers=[0, 1])
+        assert len(result) == 1
+        assert result.best.vertices == frozenset(range(4))
+
+    def test_all_seed_communities_distinct(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=1)
+        communities = all_seed_communities(two_cliques_bridge, query)
+        vertex_sets = [community.vertices for community in communities]
+        assert len(vertex_sets) == len(set(vertex_sets)) == 2
+
+
+class TestATIndex:
+    def test_offline_filter(self, two_cliques_bridge):
+        index = ATIndex.build(two_cliques_bridge)
+        query = make_topl_query({"movies", "books", "travel"}, k=4, radius=1, theta=0.1, top_l=2)
+        centers = index.candidate_centers(two_cliques_bridge, query)
+        # Bridge vertices have trussness 2 < 4 and are filtered out.
+        assert 4 not in centers
+        assert 5 not in centers
+        assert 0 in centers
+
+    def test_keyword_filter_applied(self, two_cliques_bridge):
+        index = ATIndex.build(two_cliques_bridge)
+        query = make_topl_query({"books"}, k=4, radius=1, theta=0.1, top_l=2)
+        centers = index.candidate_centers(two_cliques_bridge, query)
+        assert set(centers) == set(range(6, 10))
+
+    def test_same_answers_as_our_method(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:6])
+        query = make_topl_query(keywords, k=3, radius=2, theta=0.2, top_l=3)
+        ours = small_engine.topl(query)
+        baseline = atindex_topl(small_world_graph, query)
+        assert list(baseline.scores) == pytest.approx(list(ours.scores))
+
+    def test_candidate_centers_all_satisfy_filters(self, small_world_graph):
+        from repro.truss.decomposition import truss_decomposition
+
+        index = ATIndex.build(small_world_graph)
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:6])
+        query = make_topl_query(keywords, k=3, radius=2, theta=0.2, top_l=3)
+        decomposition = truss_decomposition(small_world_graph)
+        for center in index.candidate_centers(small_world_graph, query):
+            assert decomposition.trussness_of_vertex(center) >= query.k
+            assert small_world_graph.keywords(center) & query.keywords
+
+    def test_center_sampling(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=5)
+        result = atindex_topl(two_cliques_bridge, query, centers=[7, 8])
+        assert len(result) == 1
+        assert result.best.vertices == frozenset(range(6, 10))
+
+
+class TestKCoreBaseline:
+    def test_kcore_community_extracted(self, two_cliques_bridge):
+        community = kcore_community(two_cliques_bridge, 0, k=3, theta=0.1)
+        assert community is not None
+        assert community.vertices == frozenset(range(4))
+        assert community.score > 0
+
+    def test_center_not_in_core_returns_none(self, two_cliques_bridge):
+        assert kcore_community(two_cliques_bridge, 4, k=3, theta=0.1) is None
+
+    def test_radius_scoping(self, two_cliques_bridge):
+        scoped = kcore_community(two_cliques_bridge, 0, k=2, theta=0.1, radius=1)
+        assert scoped is not None
+        assert scoped.vertices <= frozenset(range(4))
+
+    def test_invalid_theta(self, two_cliques_bridge):
+        with pytest.raises(Exception):
+            kcore_community(two_cliques_bridge, 0, k=3, theta=1.0)
+
+    def test_comparison_rows(self, two_cliques_bridge):
+        query = make_topl_query({"movies"}, k=4, radius=1, theta=0.1, top_l=1)
+        topl = topl_icde(two_cliques_bridge, query).best
+        rows = compare_with_kcore(two_cliques_bridge, topl, k=3, theta=0.1)
+        assert set(rows) == {"topl_icde", "kcore"}
+        assert rows["topl_icde"]["seed_size"] == 4
+        assert rows["kcore"]["seed_size"] == 4
+        assert rows["topl_icde"]["score"] > 0
+
+    def test_comparison_with_missing_kcore(self, triangle_graph):
+        query = make_topl_query({"movies", "books"}, k=3, radius=1, theta=0.1, top_l=1)
+        topl = topl_icde(triangle_graph, query).best
+        rows = compare_with_kcore(triangle_graph, topl, k=5, theta=0.1)
+        assert rows["kcore"]["seed_size"] == 0
+        assert rows["kcore"]["score"] == 0.0

@@ -1,0 +1,133 @@
+"""Unit and integration tests for DTopL-ICDE processing (Algorithm 4)."""
+
+import pytest
+
+from repro.pruning.diversity import diversity_score
+from repro.query.baselines.greedy_wop import greedy_without_pruning, greedy_wop_dtopl
+from repro.query.baselines.optimal import optimal_dtopl, optimal_selection
+from repro.query.dtopl import DTopLProcessor, dtopl_icde, greedy_select_diversified
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.query.topl import topl_icde
+
+
+class TestGreedySelection:
+    def _candidates(self, graph, keywords, k=3, radius=2, theta=0.1, count=10):
+        query = make_topl_query(keywords, k=k, radius=radius, theta=theta, top_l=count)
+        return list(topl_icde(graph, query).communities)
+
+    def test_lazy_and_eager_greedy_agree(self, small_world_graph):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        candidates = self._candidates(small_world_graph, keywords)
+        lazy, lazy_evaluations = greedy_select_diversified(candidates, 3)
+        eager, eager_evaluations = greedy_without_pruning(candidates, 3)
+        # The first pick is unambiguous; later picks may differ only on
+        # zero-gain ties, so the achieved diversity score must be identical.
+        assert lazy[0].vertices == eager[0].vertices
+        assert diversity_score([c.influenced for c in lazy]) == pytest.approx(
+            diversity_score([c.influenced for c in eager])
+        )
+        # Lazy evaluation never performs more gain computations than eager.
+        assert lazy_evaluations <= eager_evaluations
+
+    def test_greedy_selects_requested_count(self, two_cliques_bridge):
+        candidates = self._candidates(
+            two_cliques_bridge, {"movies", "books"}, k=4, radius=1, count=5
+        )
+        selection, _ = greedy_select_diversified(candidates, 2)
+        assert len(selection) == min(2, len(candidates))
+
+    def test_greedy_handles_fewer_candidates_than_l(self, two_cliques_bridge):
+        candidates = self._candidates(
+            two_cliques_bridge, {"movies"}, k=4, radius=1, count=5
+        )
+        selection, _ = greedy_select_diversified(candidates, 10)
+        assert len(selection) == len(candidates)
+
+    def test_greedy_empty_input(self):
+        selection, evaluations = greedy_select_diversified([], 3)
+        assert selection == []
+        assert evaluations == 0
+
+    def test_first_pick_is_highest_influence(self, small_world_graph):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        candidates = self._candidates(small_world_graph, keywords)
+        if candidates:
+            selection, _ = greedy_select_diversified(candidates, 1)
+            assert selection[0].score == pytest.approx(max(c.score for c in candidates))
+
+    def test_greedy_matches_optimal_on_tiny_instances(self, two_cliques_bridge):
+        candidates = self._candidates(
+            two_cliques_bridge, {"movies", "books"}, k=3, radius=1, count=6
+        )
+        greedy, _ = greedy_select_diversified(candidates, 2)
+        optimal, optimal_score, _ = optimal_selection(candidates, 2)
+        greedy_score = diversity_score([c.influenced for c in greedy])
+        # (1 - 1/e) guarantee; on these tiny instances greedy is in fact optimal.
+        assert greedy_score >= 0.63 * optimal_score
+        assert greedy_score <= optimal_score + 1e-9
+
+
+class TestDTopLProcessing:
+    def test_returns_l_communities(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_dtopl_query(keywords, k=3, radius=2, theta=0.2, top_l=3, candidate_factor=2)
+        result = DTopLProcessor(small_world_graph, index=small_engine.index).query(query)
+        assert len(result) <= 3
+        assert result.diversity_score >= 0.0
+        assert result.candidates_considered <= query.num_candidates
+
+    def test_diversity_score_consistent_with_selection(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_dtopl_query(keywords, k=3, radius=2, theta=0.2, top_l=3, candidate_factor=2)
+        result = DTopLProcessor(small_world_graph, index=small_engine.index).query(query)
+        recomputed = diversity_score([c.influenced for c in result])
+        assert result.diversity_score == pytest.approx(recomputed)
+
+    def test_diversity_score_at_most_sum_of_scores(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_dtopl_query(keywords, k=3, radius=2, theta=0.2, top_l=3, candidate_factor=2)
+        result = DTopLProcessor(small_world_graph, index=small_engine.index).query(query)
+        assert result.diversity_score <= sum(c.score for c in result) + 1e-9
+
+    def test_convenience_wrapper(self, two_cliques_bridge):
+        query = make_dtopl_query(
+            {"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2, candidate_factor=2
+        )
+        result = dtopl_icde(two_cliques_bridge, query)
+        assert len(result) == 2
+
+    def test_diversified_picks_disjoint_cliques(self, two_cliques_bridge):
+        query = make_dtopl_query(
+            {"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2, candidate_factor=2
+        )
+        result = dtopl_icde(two_cliques_bridge, query)
+        picked = {community.vertices for community in result}
+        assert frozenset(range(4)) in picked
+        assert frozenset(range(6, 10)) in picked
+
+
+class TestAgainstBaselines:
+    def test_greedy_wp_equals_greedy_wop_selection(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_dtopl_query(keywords, k=3, radius=2, theta=0.2, top_l=3, candidate_factor=3)
+        with_pruning = DTopLProcessor(small_world_graph, index=small_engine.index).query(query)
+        without_pruning = greedy_wop_dtopl(small_world_graph, query, index=small_engine.index)
+        assert with_pruning.diversity_score == pytest.approx(without_pruning.diversity_score)
+
+    def test_greedy_close_to_optimal(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_dtopl_query(keywords, k=3, radius=2, theta=0.2, top_l=2, candidate_factor=2)
+        greedy = DTopLProcessor(small_world_graph, index=small_engine.index).query(query)
+        optimal = optimal_dtopl(small_world_graph, query, index=small_engine.index)
+        if optimal.diversity_score > 0:
+            accuracy = greedy.diversity_score / optimal.diversity_score
+            assert accuracy >= 0.63
+            assert accuracy <= 1.0 + 1e-9
+
+    def test_optimal_at_least_as_good_as_greedy(self, two_cliques_bridge):
+        query = make_dtopl_query(
+            {"movies", "books"}, k=3, radius=1, theta=0.1, top_l=2, candidate_factor=3
+        )
+        greedy = dtopl_icde(two_cliques_bridge, query)
+        optimal = optimal_dtopl(two_cliques_bridge, query)
+        assert optimal.diversity_score >= greedy.diversity_score - 1e-9

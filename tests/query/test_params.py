@@ -1,0 +1,108 @@
+"""Unit tests for query parameter objects."""
+
+import pytest
+
+from repro.exceptions import QueryParameterError
+from repro.query.params import (
+    DTopLQuery,
+    TopLQuery,
+    make_dtopl_query,
+    make_topl_query,
+)
+
+
+class TestTopLQuery:
+    def test_valid_construction(self):
+        query = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.1, top_l=5)
+        assert query.keywords == frozenset({"movies", "books"})
+        assert query.k == 3
+        assert query.top_l == 5
+
+    def test_defaults_match_table_iii(self):
+        query = make_topl_query({"movies"})
+        assert query.k == 4
+        assert query.radius == 2
+        assert query.theta == pytest.approx(0.2)
+        assert query.top_l == 5
+
+    def test_keywords_accept_any_iterable(self):
+        query = make_topl_query(["movies", "movies", "books"])
+        assert query.keywords == frozenset({"movies", "books"})
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query(set())
+
+    def test_non_string_keywords_rejected(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies", 7})
+        with pytest.raises(QueryParameterError):
+            make_topl_query({""})
+
+    def test_invalid_k(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies"}, k=1)
+
+    def test_invalid_radius(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies"}, radius=0)
+
+    def test_invalid_theta(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies"}, theta=1.0)
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies"}, theta=-0.1)
+
+    def test_invalid_top_l(self):
+        with pytest.raises(QueryParameterError):
+            make_topl_query({"movies"}, top_l=0)
+
+    def test_with_overrides_revalidates(self):
+        query = make_topl_query({"movies"})
+        updated = query.with_overrides(top_l=9)
+        assert updated.top_l == 9
+        assert updated.keywords == query.keywords
+        with pytest.raises(QueryParameterError):
+            query.with_overrides(k=0)
+
+    def test_describe(self):
+        query = make_topl_query({"movies", "books"}, k=3, radius=1, theta=0.3, top_l=2)
+        assert query.describe() == {"|Q|": 2, "k": 3, "r": 1, "theta": 0.3, "L": 2}
+
+    def test_frozen(self):
+        query = make_topl_query({"movies"})
+        with pytest.raises(Exception):
+            query.k = 9
+
+
+class TestDTopLQuery:
+    def test_valid_construction(self):
+        query = make_dtopl_query({"movies"}, top_l=4, candidate_factor=3)
+        assert query.num_candidates == 12
+        assert query.top_l == 4
+        assert query.keywords == frozenset({"movies"})
+
+    def test_candidate_query_scales_l(self):
+        query = make_dtopl_query({"movies"}, top_l=2, candidate_factor=5)
+        candidate_query = query.candidate_query()
+        assert isinstance(candidate_query, TopLQuery)
+        assert candidate_query.top_l == 10
+        assert candidate_query.keywords == query.keywords
+
+    def test_invalid_candidate_factor(self):
+        with pytest.raises(QueryParameterError):
+            make_dtopl_query({"movies"}, candidate_factor=0)
+
+    def test_base_must_be_topl_query(self):
+        with pytest.raises(QueryParameterError):
+            DTopLQuery(base="not-a-query")  # type: ignore[arg-type]
+
+    def test_property_passthrough(self):
+        query = make_dtopl_query({"movies"}, k=3, radius=1, theta=0.1, top_l=2)
+        assert query.k == 3
+        assert query.radius == 1
+        assert query.theta == pytest.approx(0.1)
+
+    def test_describe_includes_n(self):
+        query = make_dtopl_query({"movies"}, candidate_factor=7)
+        assert query.describe()["n"] == 7

@@ -1,0 +1,89 @@
+"""Unit tests for result value objects."""
+
+import pytest
+
+from repro.influence.propagation import InfluencedCommunity
+from repro.query.results import (
+    DTopLResult,
+    QueryStatistics,
+    SeedCommunity,
+    TopLResult,
+)
+
+
+def make_community(center, members, cpp, k=3, radius=2):
+    influenced = InfluencedCommunity(
+        seed_vertices=frozenset(members), cpp=dict(cpp), threshold=0.1
+    )
+    return SeedCommunity(
+        center=center, vertices=frozenset(members), influenced=influenced, k=k, radius=radius
+    )
+
+
+@pytest.fixture
+def sample_communities():
+    first = make_community(1, {1, 2}, {1: 1.0, 2: 1.0, 3: 0.5})
+    second = make_community(5, {5, 6}, {5: 1.0, 6: 1.0})
+    return first, second
+
+
+class TestSeedCommunity:
+    def test_score_and_counts(self, sample_communities):
+        first, _ = sample_communities
+        assert first.score == pytest.approx(2.5)
+        assert first.num_influenced == 3
+        assert first.num_influenced_outside == 1
+        assert len(first) == 2
+
+    def test_summary(self, sample_communities):
+        first, _ = sample_communities
+        summary = first.summary()
+        assert summary["center"] == 1
+        assert summary["size"] == 2
+        assert summary["score"] == pytest.approx(2.5)
+        assert summary["k"] == 3
+
+
+class TestQueryStatistics:
+    def test_total_pruned(self):
+        statistics = QueryStatistics(
+            pruned_by_keyword=2, pruned_by_support=3, pruned_by_score=1, pruned_index_entries=4
+        )
+        assert statistics.total_pruned == 10
+
+    def test_as_dict(self):
+        payload = QueryStatistics(candidates_examined=7).as_dict()
+        assert payload["candidates_examined"] == 7
+        assert payload["total_pruned"] == 0
+
+
+class TestTopLResult:
+    def test_ordering_helpers(self, sample_communities):
+        first, second = sample_communities
+        result = TopLResult(communities=(first, second))
+        assert len(result) == 2
+        assert result.best is first
+        assert result[1] is second
+        assert result.scores == pytest.approx((2.5, 2.0))
+        assert [row["center"] for row in result.summary_rows()] == [1, 5]
+
+    def test_empty_result(self):
+        result = TopLResult(communities=())
+        assert result.best is None
+        assert result.scores == ()
+        assert list(result) == []
+
+
+class TestDTopLResult:
+    def test_fields(self, sample_communities):
+        first, second = sample_communities
+        result = DTopLResult(
+            communities=(first, second),
+            diversity_score=4.5,
+            increment_evaluations=3,
+            candidates_considered=6,
+        )
+        assert len(result) == 2
+        assert result.diversity_score == pytest.approx(4.5)
+        assert result[0] is first
+        assert len(result.summary_rows()) == 2

@@ -1,0 +1,148 @@
+"""Unit and integration tests for the online TopL-ICDE algorithm (Algorithm 3)."""
+
+import pytest
+
+from repro.index.tree import build_tree_index
+from repro.pruning.stats import ABLATION_CONFIGS, PruningConfig
+from repro.query.baselines.bruteforce import bruteforce_topl
+from repro.query.params import make_topl_query
+from repro.query.seed import is_valid_seed_community
+from repro.query.topl import TopLProcessor, topl_icde
+
+
+class TestTopLOnSmallGraphs:
+    def test_finds_both_cliques(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+        result = topl_icde(two_cliques_bridge, query)
+        assert len(result) == 2
+        found = {community.vertices for community in result}
+        assert frozenset(range(4)) in found
+        assert frozenset(range(6, 10)) in found
+
+    def test_results_sorted_by_score(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+        result = topl_icde(two_cliques_bridge, query)
+        scores = list(result.scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_one_returns_single_best(self, two_cliques_bridge):
+        both = topl_icde(
+            two_cliques_bridge,
+            make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2),
+        )
+        top_one = topl_icde(
+            two_cliques_bridge,
+            make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=1),
+        )
+        assert len(top_one) == 1
+        assert top_one.best.score == pytest.approx(both.scores[0])
+
+    def test_no_matching_keyword_gives_empty(self, two_cliques_bridge):
+        query = make_topl_query({"gaming"}, k=3, radius=1, theta=0.1, top_l=2)
+        result = topl_icde(two_cliques_bridge, query)
+        assert len(result) == 0
+
+    def test_too_strict_truss_gives_empty(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=5, radius=2, theta=0.1, top_l=2)
+        result = topl_icde(two_cliques_bridge, query)
+        assert len(result) == 0
+
+    def test_every_result_is_a_valid_seed_community(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.1, top_l=5)
+        result = topl_icde(two_cliques_bridge, query)
+        for community in result:
+            assert is_valid_seed_community(
+                two_cliques_bridge, community.vertices, community.center, query
+            )
+
+    def test_influenced_community_respects_threshold(self, two_cliques_bridge):
+        query = make_topl_query({"movies"}, k=4, radius=1, theta=0.2, top_l=1)
+        result = topl_icde(two_cliques_bridge, query)
+        best = result.best
+        assert best is not None
+        assert all(p >= 0.2 for p in best.influenced.cpp.values())
+
+    def test_results_deduplicated(self, clique5):
+        # Every vertex of the clique extracts the same community; only one copy
+        # may be returned.
+        query = make_topl_query({"movies"}, k=4, radius=1, theta=0.1, top_l=5)
+        result = topl_icde(clique5, query)
+        assert len(result) == 1
+
+    def test_radius_beyond_precomputed_rejected(self, two_cliques_bridge):
+        index = build_tree_index(two_cliques_bridge, max_radius=2)
+        processor = TopLProcessor(two_cliques_bridge, index=index)
+        query = make_topl_query({"movies"}, k=3, radius=3, theta=0.1, top_l=1)
+        with pytest.raises(Exception):
+            processor.query(query)
+
+    def test_empty_graph(self):
+        from repro.graph.social_network import SocialNetwork
+
+        graph = SocialNetwork()
+        index = build_tree_index(graph, max_radius=1)
+        processor = TopLProcessor(graph, index=index)
+        result = processor.query(make_topl_query({"movies"}, k=3, radius=1, theta=0.1, top_l=2))
+        assert len(result) == 0
+
+
+class TestAgainstBruteForce:
+    """The index-based algorithm must return the same answers as exhaustive search."""
+
+    @pytest.mark.parametrize("k,radius,theta,top_l", [(3, 1, 0.1, 3), (3, 2, 0.2, 5), (4, 2, 0.1, 2)])
+    def test_matches_bruteforce_on_small_world(
+        self, small_world_graph, small_engine, k, radius, theta, top_l
+    ):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:6])
+        query = make_topl_query(keywords, k=k, radius=radius, theta=theta, top_l=top_l)
+        indexed = small_engine.topl(query)
+        brute = bruteforce_topl(small_world_graph, query)
+        assert list(indexed.scores) == pytest.approx(list(brute.scores))
+
+    def test_matches_bruteforce_on_planted_graph(self, planted_graph):
+        query = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.1, top_l=4)
+        indexed = topl_icde(planted_graph, query)
+        brute = bruteforce_topl(planted_graph, query)
+        assert list(indexed.scores) == pytest.approx(list(brute.scores))
+
+
+class TestPruningConfigurations:
+    """All ablation configurations must return the same answers (pruning is safe)."""
+
+    def test_all_configs_agree(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_topl_query(keywords, k=3, radius=2, theta=0.2, top_l=3)
+        reference = None
+        for config in ABLATION_CONFIGS + (PruningConfig.none_enabled(),):
+            processor = TopLProcessor(
+                small_world_graph, index=small_engine.index, pruning=config
+            )
+            result = processor.query(query)
+            scores = [round(score, 9) for score in result.scores]
+            if reference is None:
+                reference = scores
+            else:
+                assert scores == pytest.approx(reference)
+
+    def test_more_pruning_never_scores_more_candidates(self, small_world_graph, small_engine):
+        keywords = set(list(sorted(small_world_graph.keyword_domain()))[:8])
+        query = make_topl_query(keywords, k=3, radius=2, theta=0.2, top_l=3)
+        scored = []
+        for config in ABLATION_CONFIGS:
+            processor = TopLProcessor(
+                small_world_graph, index=small_engine.index, pruning=config
+            )
+            result = processor.query(query)
+            scored.append(result.statistics.communities_scored)
+        assert scored[0] >= scored[1] >= scored[2]
+
+
+class TestStatistics:
+    def test_statistics_populated(self, two_cliques_bridge):
+        query = make_topl_query({"movies", "books"}, k=4, radius=1, theta=0.1, top_l=2)
+        result = topl_icde(two_cliques_bridge, query)
+        statistics = result.statistics
+        assert statistics.visited_index_nodes >= 1
+        assert statistics.candidates_examined >= 1
+        assert statistics.communities_scored >= 2
+        assert statistics.elapsed_seconds > 0

@@ -1,0 +1,77 @@
+"""Unit tests for the truss decomposition."""
+
+from repro.graph.generators import complete_graph
+from repro.graph.social_network import SocialNetwork
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.ktruss import maximal_ktruss
+from repro.truss.support import edge_key
+
+
+class TestTrussDecomposition:
+    def test_clique_trussness(self, clique5):
+        decomposition = truss_decomposition(clique5)
+        assert all(value == 5 for value in decomposition.edge_trussness.values())
+        assert decomposition.max_trussness() == 5
+        assert all(
+            decomposition.trussness_of_vertex(v) == 5 for v in clique5.vertices()
+        )
+
+    def test_triangle_with_pendant(self, triangle_graph):
+        decomposition = truss_decomposition(triangle_graph)
+        assert decomposition.trussness_of_edge("a", "b") == 3
+        assert decomposition.trussness_of_edge("c", "d") == 2
+        assert decomposition.trussness_of_vertex("c") == 3
+        assert decomposition.trussness_of_vertex("d") == 2
+
+    def test_missing_edge_defaults_to_two(self, triangle_graph):
+        decomposition = truss_decomposition(triangle_graph)
+        assert decomposition.trussness_of_edge("a", "d") == 2
+        assert decomposition.trussness_of_vertex("zzz") == 2
+
+    def test_isolated_vertex_gets_minimum(self):
+        graph = SocialNetwork()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_vertex(3)
+        decomposition = truss_decomposition(graph)
+        assert decomposition.trussness_of_vertex(3) == 2
+
+    def test_two_cliques(self, two_cliques_bridge):
+        decomposition = truss_decomposition(two_cliques_bridge)
+        assert decomposition.trussness_of_edge(0, 1) == 4
+        assert decomposition.trussness_of_edge(3, 4) == 2
+        assert decomposition.vertices_with_trussness_at_least(4) == (
+            frozenset(range(4)) | frozenset(range(6, 10))
+        )
+
+    def test_empty_graph(self):
+        decomposition = truss_decomposition(SocialNetwork())
+        assert decomposition.max_trussness() == 2
+        assert decomposition.edge_trussness == {}
+
+    def test_consistency_with_maximal_ktruss(self, two_cliques_bridge):
+        """Edge trussness k means the edge survives in the maximal k-truss but not (k+1)."""
+        decomposition = truss_decomposition(two_cliques_bridge)
+        for k in (3, 4):
+            truss_edges = maximal_ktruss(two_cliques_bridge, k).edges
+            from_decomposition = {
+                key for key, value in decomposition.edge_trussness.items() if value >= k
+            }
+            assert truss_edges == from_decomposition
+
+    def test_consistency_on_random_graph(self):
+        from repro.graph.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(40, 0.2, rng=11)
+        decomposition = truss_decomposition(graph)
+        for k in (3, 4, 5):
+            truss_edges = maximal_ktruss(graph, k).edges
+            from_decomposition = {
+                key for key, value in decomposition.edge_trussness.items() if value >= k
+            }
+            assert truss_edges == from_decomposition
+
+    def test_larger_clique(self):
+        graph = complete_graph(7, rng=1)
+        decomposition = truss_decomposition(graph)
+        assert decomposition.max_trussness() == 7
+        assert decomposition.trussness_of_edge(0, 1) == 7

@@ -1,0 +1,88 @@
+"""Unit tests for the k-core decomposition."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import complete_graph
+from repro.graph.social_network import SocialNetwork
+from repro.graph.subgraph import SubgraphView
+from repro.truss.kcore import (
+    core_decomposition,
+    degeneracy,
+    kcore_component_of,
+    maximal_kcore,
+)
+
+
+class TestCoreDecomposition:
+    def test_clique_core_numbers(self, clique5):
+        decomposition = core_decomposition(clique5)
+        assert all(decomposition.core_of(v) == 4 for v in clique5.vertices())
+        assert decomposition.max_core() == 4
+
+    def test_triangle_with_pendant(self, triangle_graph):
+        decomposition = core_decomposition(triangle_graph)
+        assert decomposition.core_of("a") == 2
+        assert decomposition.core_of("b") == 2
+        assert decomposition.core_of("c") == 2
+        assert decomposition.core_of("d") == 1
+
+    def test_path_graph_core_is_one(self):
+        graph = SocialNetwork()
+        for v in range(4):
+            graph.add_vertex(v)
+        for v in range(3):
+            graph.add_edge(v, v + 1, 0.5)
+        decomposition = core_decomposition(graph)
+        assert all(decomposition.core_of(v) == 1 for v in range(4))
+
+    def test_missing_vertex_core_zero(self, triangle_graph):
+        assert core_decomposition(triangle_graph).core_of("zzz") == 0
+
+    def test_empty_graph(self):
+        decomposition = core_decomposition(SocialNetwork())
+        assert decomposition.max_core() == 0
+
+    def test_vertices_with_core_at_least(self, triangle_graph):
+        decomposition = core_decomposition(triangle_graph)
+        assert decomposition.vertices_with_core_at_least(2) == frozenset({"a", "b", "c"})
+
+    def test_consistency_on_random_graph(self):
+        """Every vertex of the k-core has degree >= k inside the k-core."""
+        from repro.graph.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(50, 0.15, rng=7)
+        for k in (2, 3):
+            core = maximal_kcore(graph, k)
+            view = SubgraphView(graph, core)
+            assert all(view.degree(v) >= k for v in core)
+
+
+class TestMaximalKCoreAndComponents:
+    def test_maximal_kcore(self, two_cliques_bridge):
+        core3 = maximal_kcore(two_cliques_bridge, 3)
+        assert core3 == frozenset(range(4)) | frozenset(range(6, 10))
+        assert maximal_kcore(two_cliques_bridge, 2) == frozenset(range(10))
+
+    def test_negative_k_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            maximal_kcore(triangle_graph, -1)
+
+    def test_component_of_center(self, two_cliques_bridge):
+        assert kcore_component_of(two_cliques_bridge, 3, 1) == frozenset(range(4))
+        assert kcore_component_of(two_cliques_bridge, 3, 8) == frozenset(range(6, 10))
+
+    def test_component_missing_center(self, two_cliques_bridge):
+        assert kcore_component_of(two_cliques_bridge, 3, 4) == frozenset()
+
+    def test_component_on_view(self, two_cliques_bridge):
+        view = SubgraphView(two_cliques_bridge, set(range(6)))
+        assert kcore_component_of(view, 3, 0) == frozenset(range(4))
+
+
+class TestDegeneracy:
+    def test_clique(self):
+        assert degeneracy(complete_graph(6, rng=1)) == 5
+
+    def test_two_cliques(self, two_cliques_bridge):
+        assert degeneracy(two_cliques_bridge) == 3

@@ -1,0 +1,75 @@
+"""Unit tests for the Table III parameter grid."""
+
+import pytest
+
+from repro.workloads.sweeps import PAPER_PARAMETER_GRID, ParameterGrid, SweepPoint
+
+
+class TestParameterGrid:
+    def test_paper_values(self):
+        grid = PAPER_PARAMETER_GRID
+        assert grid.theta_values == (0.1, 0.2, 0.3)
+        assert grid.query_keyword_sizes == (2, 3, 5, 8, 10)
+        assert grid.truss_k_values == (3, 4, 5)
+        assert grid.radius_values == (1, 2, 3)
+        assert grid.result_sizes == (2, 3, 5, 8, 10)
+        assert grid.keyword_domain_sizes == (10, 20, 50, 80)
+        assert grid.graph_sizes[-1] == 1_000_000
+        assert grid.candidate_factors == (2, 3, 5, 8, 10)
+
+    def test_defaults_match_table_iii_bold_entries(self):
+        defaults = PAPER_PARAMETER_GRID.defaults()
+        assert defaults["theta"] == 0.2
+        assert defaults["num_query_keywords"] == 5
+        assert defaults["k"] == 4
+        assert defaults["radius"] == 2
+        assert defaults["top_l"] == 5
+        assert defaults["keywords_per_vertex"] == 3
+        assert defaults["keyword_domain"] == 50
+        assert defaults["graph_size"] == 25_000
+        assert defaults["candidate_factor"] == 3
+
+    def test_sweep_varies_only_one_parameter(self):
+        sweep = PAPER_PARAMETER_GRID.sweep("theta")
+        assert [point["theta"] for point in sweep] == [0.1, 0.2, 0.3]
+        for point in sweep:
+            assert point["k"] == 4
+            assert point["swept_parameter"] == "theta"
+
+    def test_every_parameter_sweepable(self):
+        for name in (
+            "theta",
+            "num_query_keywords",
+            "k",
+            "radius",
+            "top_l",
+            "keywords_per_vertex",
+            "keyword_domain",
+            "graph_size",
+            "candidate_factor",
+        ):
+            sweep = PAPER_PARAMETER_GRID.sweep(name)
+            assert len(sweep) >= 3
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            PAPER_PARAMETER_GRID.sweep("bogus")
+
+    def test_scaled_grid(self):
+        scaled = PAPER_PARAMETER_GRID.scaled(0.01)
+        assert scaled.graph_sizes[0] == 100
+        assert scaled.graph_sizes[-1] == 10_000
+        assert scaled.default_graph_size == 250
+        # Non-size parameters are untouched.
+        assert scaled.theta_values == PAPER_PARAMETER_GRID.theta_values
+
+    def test_scaled_grid_floor(self):
+        scaled = ParameterGrid().scaled(0.000001)
+        assert all(size >= 100 for size in scaled.graph_sizes)
+
+
+class TestSweepPoint:
+    def test_row_merges_settings_and_metrics(self):
+        point = SweepPoint(settings={"theta": 0.2}, metrics={"wall_clock_s": 1.5})
+        row = point.row()
+        assert row == {"theta": 0.2, "wall_clock_s": 1.5}
