@@ -1,0 +1,198 @@
+"""Serving-layer throughput: queries/sec at worker counts {1, 2, 4}, cache on/off.
+
+This bench establishes the first serving-throughput numbers in the repo's
+trajectory.  It measures the :class:`repro.serve.batch.BatchQueryEngine` over
+a mixed TopL/DTopL batch on the synthetic small-world dataset:
+
+* **workers sweep** (cache off) — the honest parallel-scaling measurement;
+  every query is executed.  Speedup tracks the machine's core count: on the
+  multi-core CI runners workers=4 clears 2x over workers=1, on a single-core
+  box the pool only adds overhead (the recorded JSON carries ``cpu_count`` so
+  baselines stay comparable).
+* **cache sweep** (workers=1) — a cold round followed by a warm round over
+  the same batch; the warm round is served from the result cache.
+
+Run as a pytest-benchmark module (``pytest benchmarks/bench_serving_throughput.py``)
+or standalone to record a JSON baseline::
+
+    python benchmarks/bench_serving_throughput.py --out BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.graph.datasets import synthetic_small_world
+from repro.workloads.queries import QueryWorkload
+
+#: Batch size of the throughput measurement (32 mixed queries by default).
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_SERVING_BATCH", "32"))
+#: Worker counts of the scaling sweep.
+WORKER_COUNTS = (1, 2, 4)
+
+_SERVING_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
+
+
+def build_serving_fixture(num_vertices: int, batch_size: int):
+    """Graph + engine + mixed query batch shared by every measurement."""
+    graph = synthetic_small_world("uniform", num_vertices=num_vertices, rng=41)
+    engine = InfluentialCommunityEngine.build(
+        graph, config=_SERVING_CONFIG, validate=False
+    )
+    workload = QueryWorkload(graph, rng=97)
+    num_dtopl = max(batch_size // 4, 1)
+    queries = workload.topl_batch(batch_size - num_dtopl, num_keywords=5, k=4, top_l=5)
+    queries += workload.dtopl_batch(num_dtopl, num_keywords=5, k=4, top_l=5)
+    return graph, engine, queries
+
+
+def _measure(engine, queries, workers: int, cache: bool) -> dict:
+    capacity = None if cache else 0
+    serving = engine.serve(
+        workers=workers,
+        result_cache_capacity=capacity,
+        propagation_cache_capacity=capacity,
+    )
+    rounds = []
+    for _ in range(2 if cache else 1):
+        batch = serving.run(queries)
+        rounds.append(batch.statistics.as_dict())
+    return {
+        "workers": workers,
+        "cache": cache,
+        "rounds": rounds,
+        "caches": serving.cache_statistics(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def serving_fixture():
+    from benchmarks.conftest import BENCH_VERTICES
+
+    return build_serving_fixture(BENCH_VERTICES, BATCH_SIZE)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_throughput_workers(benchmark, serving_fixture, workers):
+    """Queries/sec of the uncached batch path at each worker count."""
+    from benchmarks.conftest import BENCH_ROUNDS
+
+    graph, engine, queries = serving_fixture
+    serving = engine.serve(
+        workers=workers, result_cache_capacity=0, propagation_cache_capacity=0
+    )
+    batch = benchmark.pedantic(
+        serving.run, args=(queries,), rounds=BENCH_ROUNDS, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "|V(G)|": graph.num_vertices(),
+            "batch_size": len(queries),
+            "workers": workers,
+            "mode": batch.statistics.mode,
+            "queries_per_second": round(batch.statistics.queries_per_second, 2),
+            "cpu_count": os.cpu_count(),
+        }
+    )
+    assert len(batch) == len(queries)
+    assert batch.statistics.executed == len(queries)
+
+
+def test_throughput_cache_warm_vs_cold(benchmark, serving_fixture):
+    """Warm rounds answered from the result cache vs cold execution."""
+    from benchmarks.conftest import BENCH_ROUNDS
+
+    graph, engine, queries = serving_fixture
+    serving = engine.serve()
+    cold = serving.run(queries)
+
+    warm = benchmark.pedantic(
+        serving.run, args=(queries,), rounds=BENCH_ROUNDS, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "|V(G)|": graph.num_vertices(),
+            "batch_size": len(queries),
+            "cold_qps": round(cold.statistics.queries_per_second, 2),
+            "warm_qps": round(warm.statistics.queries_per_second, 2),
+        }
+    )
+    assert warm.statistics.result_cache_hits == len(queries)
+    assert warm.statistics.executed == 0
+    # The warm round skips the online algorithm entirely, so it must beat the
+    # cold round by a wide margin even on loaded machines.
+    assert warm.statistics.elapsed_seconds < cold.statistics.elapsed_seconds
+
+
+def test_parallel_results_identical_to_sequential(serving_fixture):
+    """The correctness gate behind the throughput numbers (CI smoke)."""
+    _, engine, queries = serving_fixture
+    sequential = engine.serve(result_cache_capacity=0).run(queries)
+    parallel = engine.serve(result_cache_capacity=0).run(queries, workers=4)
+    fingerprints = [
+        [(c.vertices, round(c.score, 9)) for c in result] for result in sequential
+    ]
+    assert [
+        [(c.vertices, round(c.score, 9)) for c in result] for result in parallel
+    ] == fingerprints
+
+
+# --------------------------------------------------------------------------- #
+# standalone baseline recorder
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vertices", type=int, default=400)
+    parser.add_argument("--batch", type=int, default=BATCH_SIZE)
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    graph, engine, queries = build_serving_fixture(args.vertices, args.batch)
+    report = {
+        "bench": "serving_throughput",
+        "recorded_unix": int(time.time()),
+        "dataset": graph.name,
+        "num_vertices": graph.num_vertices(),
+        "num_edges": graph.num_edges(),
+        "batch_size": len(queries),
+        "cpu_count": os.cpu_count(),
+        "measurements": [],
+    }
+    for workers in WORKER_COUNTS:
+        measurement = _measure(engine, queries, workers=workers, cache=False)
+        report["measurements"].append(measurement)
+        qps = measurement["rounds"][0]["queries_per_second"]
+        print(f"workers={workers} cache=off: {qps:.2f} queries/sec")
+    cached = _measure(engine, queries, workers=1, cache=True)
+    report["measurements"].append(cached)
+    print(
+        f"workers=1 cache=on: cold {cached['rounds'][0]['queries_per_second']:.2f} "
+        f"-> warm {cached['rounds'][1]['queries_per_second']:.2f} queries/sec"
+    )
+
+    baseline = report["measurements"][0]["rounds"][0]["queries_per_second"]
+    parallel = report["measurements"][-2]["rounds"][0]["queries_per_second"]
+    if baseline > 0:
+        report["speedup_workers_4_vs_1"] = round(parallel / baseline, 3)
+        print(f"workers=4 speedup over workers=1: {report['speedup_workers_4_vs_1']}x")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

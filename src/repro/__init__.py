@@ -27,6 +27,7 @@ from repro.exceptions import (
     QueryParameterError,
     ReproError,
     SerializationError,
+    ServingError,
     VertexNotFoundError,
 )
 from repro.graph.social_network import SocialNetwork
@@ -37,8 +38,10 @@ from repro.query.params import DTopLQuery, TopLQuery, make_dtopl_query, make_top
 from repro.query.results import DTopLResult, SeedCommunity, TopLResult
 from repro.query.topl import TopLProcessor, topl_icde
 from repro.query.dtopl import DTopLProcessor, dtopl_icde
+from repro.serve.batch import BatchQueryEngine, BatchResult, BatchStatistics, ServingConfig
+from repro.serve.cache import LRUCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
@@ -50,6 +53,7 @@ __all__ = [
     "QueryParameterError",
     "ReproError",
     "SerializationError",
+    "ServingError",
     "VertexNotFoundError",
     "SocialNetwork",
     "SubgraphView",
@@ -67,5 +71,10 @@ __all__ = [
     "topl_icde",
     "DTopLProcessor",
     "dtopl_icde",
+    "BatchQueryEngine",
+    "BatchResult",
+    "BatchStatistics",
+    "ServingConfig",
+    "LRUCache",
     "__version__",
 ]

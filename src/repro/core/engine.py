@@ -19,7 +19,7 @@ Example
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.config import EngineConfig
 from repro.graph.social_network import SocialNetwork, VertexId
@@ -115,20 +115,87 @@ class InfluentialCommunityEngine:
     def topl(
         self,
         query: TopLQuery,
-        pruning: PruningConfig = PruningConfig.all_enabled(),
+        pruning: Optional[PruningConfig] = None,
     ) -> TopLResult:
-        """Answer a TopL-ICDE query (Definition 4, Algorithm 3)."""
+        """Answer a TopL-ICDE query (Definition 4, Algorithm 3).
+
+        ``pruning=None`` applies the full pruning stack; the configuration is
+        constructed per call so no state is shared between unrelated queries.
+        """
         processor = TopLProcessor(self.graph, index=self.index, pruning=pruning)
         return processor.query(query)
 
     def dtopl(
         self,
         query: DTopLQuery,
-        pruning: PruningConfig = PruningConfig.all_enabled(),
+        pruning: Optional[PruningConfig] = None,
     ) -> DTopLResult:
         """Answer a DTopL-ICDE query (Definition 5, Algorithm 4)."""
         processor = DTopLProcessor(self.graph, index=self.index, pruning=pruning)
         return processor.query(query)
+
+    # ------------------------------------------------------------------ #
+    # batch serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        workers: int = 1,
+        result_cache_capacity: Optional[int] = None,
+        propagation_cache_capacity: Optional[int] = None,
+        pruning: Optional[PruningConfig] = None,
+        start_method: Optional[str] = None,
+    ):
+        """Return a :class:`~repro.serve.batch.BatchQueryEngine` over this engine.
+
+        The serving engine keeps LRU caches (whole results and
+        ``community_propagation`` scores) alive across batches and can answer
+        batches in parallel with ``workers`` processes; see
+        :mod:`repro.serve.batch`.
+        """
+        from repro.serve.batch import (
+            DEFAULT_PROPAGATION_CACHE_CAPACITY,
+            DEFAULT_RESULT_CACHE_CAPACITY,
+            BatchQueryEngine,
+            ServingConfig,
+        )
+
+        config = ServingConfig(
+            workers=workers,
+            result_cache_capacity=(
+                DEFAULT_RESULT_CACHE_CAPACITY
+                if result_cache_capacity is None
+                else result_cache_capacity
+            ),
+            propagation_cache_capacity=(
+                DEFAULT_PROPAGATION_CACHE_CAPACITY
+                if propagation_cache_capacity is None
+                else propagation_cache_capacity
+            ),
+            start_method=start_method,
+        )
+        return BatchQueryEngine(self, config=config, pruning=pruning)
+
+    def topl_many(
+        self,
+        queries: Sequence[TopLQuery],
+        workers: int = 1,
+        pruning: Optional[PruningConfig] = None,
+    ) -> list[TopLResult]:
+        """Answer many TopL-ICDE queries (order-stable); a one-shot batch.
+
+        Build one serving engine via :meth:`serve` instead when running
+        several batches — its caches persist across calls.
+        """
+        return list(self.serve(workers=workers, pruning=pruning).run(queries))
+
+    def dtopl_many(
+        self,
+        queries: Sequence[DTopLQuery],
+        workers: int = 1,
+        pruning: Optional[PruningConfig] = None,
+    ) -> list[DTopLResult]:
+        """Answer many DTopL-ICDE queries (order-stable); a one-shot batch."""
+        return list(self.serve(workers=workers, pruning=pruning).run(queries))
 
     # ------------------------------------------------------------------ #
     # analysis helpers

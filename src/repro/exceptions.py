@@ -63,3 +63,7 @@ class DatasetError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when an index or graph cannot be serialised or deserialised."""
+
+
+class ServingError(ReproError):
+    """Raised when the batch serving layer is misconfigured or misused."""

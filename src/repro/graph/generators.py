@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence
-from typing import Optional, Union
+from typing import Union
 
 from repro.exceptions import GraphError
 from repro.graph.social_network import SocialNetwork

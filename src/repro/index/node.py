@@ -17,7 +17,6 @@ non-leaf entry, which keeps the pruning code uniform.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.index.precompute import RadiusAggregates, VertexAggregates
 from repro.keywords.bitvector import BitVector

@@ -10,7 +10,7 @@ exposes through :class:`repro.query.results.QueryStatistics`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -49,7 +49,7 @@ def greedy_wop_dtopl(
     graph: SocialNetwork,
     query: DTopLQuery,
     index: Optional[TreeIndex] = None,
-    pruning: PruningConfig = PruningConfig.all_enabled(),
+    pruning: Optional[PruningConfig] = None,
 ) -> DTopLResult:
     """Answer a DTopL-ICDE query with the unpruned greedy baseline."""
     started = time.perf_counter()

@@ -45,7 +45,7 @@ def optimal_dtopl(
     graph: SocialNetwork,
     query: DTopLQuery,
     index: Optional[TreeIndex] = None,
-    pruning: PruningConfig = PruningConfig.all_enabled(),
+    pruning: Optional[PruningConfig] = None,
     use_all_candidates: bool = False,
 ) -> DTopLResult:
     """Answer a DTopL-ICDE query exactly (exponential in ``L``).

@@ -39,10 +39,13 @@ class DTopLProcessor:
         self,
         graph: SocialNetwork,
         index: Optional[TreeIndex] = None,
-        pruning: PruningConfig = PruningConfig.all_enabled(),
+        pruning: Optional[PruningConfig] = None,
+        propagation_cache=None,
     ) -> None:
         self.graph = graph
-        self.topl = TopLProcessor(graph, index=index, pruning=pruning)
+        self.topl = TopLProcessor(
+            graph, index=index, pruning=pruning, propagation_cache=propagation_cache
+        )
 
     @property
     def index(self) -> TreeIndex:
@@ -118,7 +121,7 @@ def dtopl_icde(
     graph: SocialNetwork,
     query: DTopLQuery,
     index: Optional[TreeIndex] = None,
-    pruning: PruningConfig = PruningConfig.all_enabled(),
+    pruning: Optional[PruningConfig] = None,
 ) -> DTopLResult:
     """Convenience wrapper: answer one DTopL-ICDE query."""
     processor = DTopLProcessor(graph, index=index, pruning=pruning)

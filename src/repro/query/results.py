@@ -78,6 +78,8 @@ class QueryStatistics:
     pruned_index_entries: int = 0
     heap_terminated_early: bool = False
     elapsed_seconds: float = 0.0
+    propagation_cache_hits: int = 0
+    propagation_cache_misses: int = 0
 
     @property
     def total_pruned(self) -> int:
@@ -105,6 +107,8 @@ class QueryStatistics:
             "total_pruned": self.total_pruned,
             "heap_terminated_early": self.heap_terminated_early,
             "elapsed_seconds": self.elapsed_seconds,
+            "propagation_cache_hits": self.propagation_cache_hits,
+            "propagation_cache_misses": self.propagation_cache_misses,
         }
 
 

@@ -100,18 +100,32 @@ class TopLProcessor:
         should build the index once and reuse it).
     pruning:
         Which pruning rules to apply (the Figure 4 ablation runs the processor
-        with reduced configurations).
+        with reduced configurations); ``None`` means the full stack.
+    propagation_cache:
+        Optional LRU cache (any object with ``get(key)`` / ``put(key, value)``,
+        see :class:`repro.serve.cache.LRUCache`) memoising
+        ``community_propagation`` results keyed on ``(vertex set, theta)``.
+        Shared across queries by the serving layer; requires the graph to stay
+        immutable while attached.
     """
 
     def __init__(
         self,
         graph: SocialNetwork,
         index: Optional[TreeIndex] = None,
-        pruning: PruningConfig = PruningConfig.all_enabled(),
+        pruning: Optional[PruningConfig] = None,
+        propagation_cache=None,
     ) -> None:
         self.graph = graph
         self.index = index if index is not None else build_tree_index(graph)
-        self.pruning = pruning
+        self.pruning = pruning if pruning is not None else PruningConfig.all_enabled()
+        self.propagation_cache = propagation_cache
+        if propagation_cache is not None:
+            # Deferred import: repro.serve imports this module at package
+            # init, so the cache helpers cannot be imported at module level.
+            from repro.serve.cache import propagation_cache_key
+
+            self._propagation_key = propagation_cache_key
 
     # ------------------------------------------------------------------ #
     # public API
@@ -250,7 +264,7 @@ class TopLProcessor:
         if vertices in scored_vertex_sets:
             return None
         scored_vertex_sets.add(vertices)
-        influenced = community_propagation(self.graph, vertices, query.theta)
+        influenced = self._propagate(vertices, query.theta, statistics)
         statistics.communities_scored += 1
         return SeedCommunity(
             center=vertex,
@@ -260,12 +274,27 @@ class TopLProcessor:
             radius=query.radius,
         )
 
+    def _propagate(self, vertices: frozenset, theta: float, statistics: QueryStatistics):
+        """Run ``calculate_influence``, consulting the propagation cache if any."""
+        cache = self.propagation_cache
+        if cache is None:
+            return community_propagation(self.graph, vertices, theta)
+        key = self._propagation_key(vertices, theta)
+        influenced = cache.get(key)
+        if influenced is not None:
+            statistics.propagation_cache_hits += 1
+            return influenced
+        statistics.propagation_cache_misses += 1
+        influenced = community_propagation(self.graph, vertices, theta)
+        cache.put(key, influenced)
+        return influenced
+
 
 def topl_icde(
     graph: SocialNetwork,
     query: TopLQuery,
     index: Optional[TreeIndex] = None,
-    pruning: PruningConfig = PruningConfig.all_enabled(),
+    pruning: Optional[PruningConfig] = None,
 ) -> TopLResult:
     """Convenience wrapper: answer one TopL-ICDE query.
 

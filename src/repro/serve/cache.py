@@ -1,0 +1,145 @@
+"""Caching primitives for the serving layer.
+
+Two caches back the batch serving path:
+
+* a **result cache** keyed on the full query (``TopLQuery`` / ``DTopLQuery``
+  are frozen, hashable dataclasses) plus the active :class:`PruningConfig` —
+  a hit skips the online algorithm entirely, and
+* a **propagation cache** keyed on ``(seed vertex set, theta)`` — repeated
+  queries with overlapping candidate centres extract the same seed
+  communities, and ``community_propagation`` (the multi-source max-product
+  Dijkstra) is the hot path worth memoising even when the whole result is not
+  reusable.
+
+Both are plain LRU caches; the graph and index are assumed immutable while a
+serving engine is live (the library never mutates them during queries).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Union
+
+from repro.exceptions import ServingError
+from repro.graph.social_network import VertexId
+from repro.pruning.stats import PruningConfig
+from repro.query.params import DTopLQuery, TopLQuery
+
+
+@dataclass
+class CacheStatistics:
+    """Hit / miss / eviction counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStatistics") -> None:
+        """Accumulate another counter set into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def as_dict(self) -> dict:
+        """Return the counters as a flat dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (``>= 1``); use :func:`maybe_cache` for the
+        "0 disables caching" convention used by the serving configuration.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServingError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.statistics = CacheStatistics()
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default=None):
+        """Return the cached value (refreshing its recency) or ``default``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.statistics.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.statistics.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert or refresh an entry, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.statistics.evictions += 1
+
+    def keys(self) -> list:
+        """Current keys, least-recently-used first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+
+def maybe_cache(capacity: int) -> Optional[LRUCache]:
+    """Return an :class:`LRUCache` of ``capacity``, or ``None`` when ``<= 0``."""
+    return LRUCache(capacity) if capacity > 0 else None
+
+
+def query_cache_key(
+    query: Union[TopLQuery, DTopLQuery], pruning: PruningConfig
+) -> tuple:
+    """Build the result-cache key for a query under a pruning configuration.
+
+    TopL and DTopL queries sharing the same base parameters must not collide,
+    so the key leads with the query kind.
+    """
+    if isinstance(query, DTopLQuery):
+        return ("dtopl", query, pruning)
+    if isinstance(query, TopLQuery):
+        return ("topl", query, pruning)
+    raise ServingError(
+        f"expected a TopLQuery or DTopLQuery, got {type(query).__name__}"
+    )
+
+
+def propagation_cache_key(
+    seed_vertices: Iterable[VertexId], threshold: float
+) -> tuple:
+    """Build the propagation-cache key for ``calculate_influence(g, theta)``."""
+    return (frozenset(seed_vertices), threshold)

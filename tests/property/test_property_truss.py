@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.graph.subgraph import SubgraphView
 from repro.truss.decomposition import truss_decomposition
 from repro.truss.kcore import core_decomposition, maximal_kcore
-from repro.truss.ktruss import is_ktruss, maximal_ktruss
+from repro.truss.ktruss import maximal_ktruss
 from repro.truss.support import edge_support
 
 from tests.property.strategies import social_networks

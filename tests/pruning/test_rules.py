@@ -1,7 +1,5 @@
 """Unit tests for the community-level pruning rules (Lemmas 1-4)."""
 
-import pytest
-
 from repro.graph.subgraph import SubgraphView
 from repro.keywords.bitvector import BitVector
 from repro.pruning.rules import (

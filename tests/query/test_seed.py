@@ -1,7 +1,5 @@
 """Unit tests for seed-community extraction (Definition 2)."""
 
-import pytest
-
 from repro.graph.social_network import SocialNetwork
 from repro.query.params import make_topl_query
 from repro.query.seed import (

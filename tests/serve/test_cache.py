@@ -1,0 +1,118 @@
+"""Unit tests for the serving-layer cache primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.pruning.stats import PruningConfig
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.serve.cache import (
+    CacheStatistics,
+    LRUCache,
+    maybe_cache,
+    propagation_cache_key,
+    query_cache_key,
+)
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 0
+
+    def test_miss_returns_default_and_counts(self):
+        cache = LRUCache(4)
+        assert cache.get("absent") is None
+        assert cache.get("absent", default=7) == 7
+        assert cache.statistics.misses == 2
+        assert cache.statistics.hit_rate == 0.0
+
+    def test_eviction_respects_capacity(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.statistics.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        # "b" was least recently used, not "a".
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.statistics.evictions == 0
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.statistics.hits == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServingError):
+            LRUCache(0)
+
+    def test_maybe_cache(self):
+        assert maybe_cache(0) is None
+        assert isinstance(maybe_cache(3), LRUCache)
+
+
+class TestCacheStatistics:
+    def test_merge_and_as_dict(self):
+        first = CacheStatistics(hits=2, misses=1, evictions=1)
+        second = CacheStatistics(hits=1, misses=1)
+        first.merge(second)
+        payload = first.as_dict()
+        assert payload["hits"] == 3
+        assert payload["lookups"] == 5
+        assert payload["hit_rate"] == pytest.approx(0.6)
+
+
+class TestCacheKeys:
+    def test_topl_and_dtopl_do_not_collide(self):
+        pruning = PruningConfig.all_enabled()
+        topl = make_topl_query({"movies"}, k=3, top_l=3)
+        dtopl = make_dtopl_query({"movies"}, k=3, top_l=3)
+        assert query_cache_key(topl, pruning) != query_cache_key(dtopl, pruning)
+
+    def test_pruning_config_part_of_key(self):
+        query = make_topl_query({"movies"}, k=3)
+        assert query_cache_key(query, PruningConfig.all_enabled()) != query_cache_key(
+            query, PruningConfig.keyword_only()
+        )
+
+    def test_equal_queries_share_key(self):
+        pruning = PruningConfig.all_enabled()
+        first = make_topl_query({"movies", "books"}, k=3, theta=0.2)
+        second = make_topl_query({"books", "movies"}, k=3, theta=0.2)
+        assert query_cache_key(first, pruning) == query_cache_key(second, pruning)
+
+    def test_rejects_non_query(self):
+        with pytest.raises(ServingError):
+            query_cache_key("not a query", PruningConfig.all_enabled())
+
+    def test_propagation_key_normalises_vertex_order(self):
+        assert propagation_cache_key([1, 2, 3], 0.2) == propagation_cache_key(
+            (3, 2, 1), 0.2
+        )
+        assert propagation_cache_key([1, 2], 0.2) != propagation_cache_key([1, 2], 0.3)

@@ -4,7 +4,6 @@ from repro.graph.generators import complete_graph
 from repro.graph.social_network import SocialNetwork
 from repro.truss.decomposition import truss_decomposition
 from repro.truss.ktruss import maximal_ktruss
-from repro.truss.support import edge_key
 
 
 class TestTrussDecomposition:

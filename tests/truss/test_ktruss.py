@@ -3,7 +3,6 @@
 import pytest
 
 from repro.exceptions import GraphError
-from repro.graph.generators import complete_graph
 from repro.graph.social_network import SocialNetwork
 from repro.graph.subgraph import SubgraphView
 from repro.truss.ktruss import (

@@ -1,7 +1,5 @@
 """Unit tests for edge support computation."""
 
-import pytest
-
 from repro.graph.generators import complete_graph
 from repro.graph.social_network import SocialNetwork
 from repro.graph.subgraph import SubgraphView
