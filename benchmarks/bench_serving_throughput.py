@@ -68,6 +68,11 @@ def _measure(engine, queries, workers: int, cache: bool) -> dict:
     return {
         "workers": workers,
         "cache": cache,
+        # Recorded per measurement, not just per file: parallel numbers are
+        # meaningless without knowing how many cores the run actually had
+        # (the first recorded baseline showed 0.83x at workers=4 — on a
+        # 1-core box, which is expected, not a regression).
+        "cpu_count": os.cpu_count(),
         "rounds": rounds,
         "caches": serving.cache_statistics(),
     }
@@ -133,6 +138,32 @@ def test_throughput_cache_warm_vs_cold(benchmark, serving_fixture):
     # The warm round skips the online algorithm entirely, so it must beat the
     # cold round by a wide margin even on loaded machines.
     assert warm.statistics.elapsed_seconds < cold.statistics.elapsed_seconds
+
+
+def test_parallel_speedup_on_multicore(serving_fixture):
+    """workers=4 must beat workers=1 — but only where that can be true.
+
+    On a 1-core box the pool adds pure overhead (the recorded 0.83x in
+    ``BENCH_serving.json`` is exactly that), and a tiny batch cannot amortise
+    pool start-up; both cases are *skipped*, not reported as regressions.
+    The PR bench smoke uses batch 8, so this assertion executes in the
+    nightly full-scale bench job (multi-core runner, batch 32) and in local
+    full-scale runs.
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        pytest.skip(f"parallel speedup needs >= 2 cores (cpu_count={cpu_count})")
+    _, engine, queries = serving_fixture
+    if len(queries) < 16:
+        pytest.skip(f"batch of {len(queries)} too small to amortise pool start-up")
+    sequential = engine.serve(result_cache_capacity=0, propagation_cache_capacity=0)
+    parallel = engine.serve(result_cache_capacity=0, propagation_cache_capacity=0)
+    baseline = sequential.run(queries, workers=1)
+    scaled = parallel.run(queries, workers=4)
+    speedup = baseline.statistics.elapsed_seconds / scaled.statistics.elapsed_seconds
+    assert speedup > 1.05, (
+        f"workers=4 gave {speedup:.2f}x over workers=1 on {cpu_count} cores"
+    )
 
 
 def test_parallel_results_identical_to_sequential(serving_fixture):

@@ -19,8 +19,11 @@ True
 
 from repro.core.config import EngineConfig
 from repro.core.engine import InfluentialCommunityEngine
+from repro.dynamic.maintenance import UpdateReport
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch, random_update_batch
 from repro.exceptions import (
     DatasetError,
+    DynamicUpdateError,
     GraphError,
     IndexStateError,
     InvalidProbabilityError,
@@ -41,12 +44,17 @@ from repro.query.dtopl import DTopLProcessor, dtopl_icde
 from repro.serve.batch import BatchQueryEngine, BatchResult, BatchStatistics, ServingConfig
 from repro.serve.cache import LRUCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EngineConfig",
     "InfluentialCommunityEngine",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateReport",
+    "random_update_batch",
     "DatasetError",
+    "DynamicUpdateError",
     "GraphError",
     "IndexStateError",
     "InvalidProbabilityError",

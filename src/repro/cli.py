@@ -10,6 +10,8 @@ The CLI wires the library's pieces together for shell usage::
     repro sweep graph.json --parameter theta
     repro serve graph.json --queries 32 --workers 4 --repeat 2
     repro batch graph.json --queries 32 --no-cache   # alias of `serve`
+    repro update graph.json --script edits.json --out-graph graph2.json
+    repro update graph.json --random 50 --out-script edits.json
 
 Every subcommand is also callable programmatically through :func:`main`,
 which accepts an ``argv`` list and returns a process exit code — that is how
@@ -95,6 +97,50 @@ def build_parser() -> argparse.ArgumentParser:
             help="answer a batch of mixed TopL/DTopL queries (workers + caching)",
         )
         _add_serve_arguments(serve)
+
+    update = subparsers.add_parser(
+        "update",
+        help="replay an edge edit script, maintaining trussness and the index incrementally",
+    )
+    update.add_argument("graph")
+    update.add_argument("--index", default=None, help="optional pre-built index JSON")
+    update.add_argument(
+        "--script", default=None, help="edit-script JSON (see README 'Dynamic graphs')"
+    )
+    update.add_argument(
+        "--random",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate a random N-edit script instead of reading --script",
+    )
+    update.add_argument("--insert-ratio", type=float, default=0.5,
+                        help="insertion fraction of a --random script")
+    update.add_argument("--seed", type=int, default=7, help="--random script seed")
+    update.add_argument(
+        "--focus",
+        default=None,
+        help="restrict a --random script to the neighbourhood of this vertex "
+        "(localized churn stays under the damage threshold)",
+    )
+    update.add_argument("--focus-radius", type=int, default=2,
+                        help="hop radius of the --focus neighbourhood")
+    update.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="replay the script in chunks of this many edits (default: one batch)",
+    )
+    update.add_argument(
+        "--damage-threshold",
+        type=float,
+        default=None,
+        help="affected-vertex fraction above which a full rebuild is cheaper",
+    )
+    update.add_argument("--out-graph", default=None, help="write the mutated graph JSON here")
+    update.add_argument("--out-index", default=None, help="write the refreshed index JSON here")
+    update.add_argument("--out-script", default=None,
+                        help="write the (possibly generated) edit script here")
 
     return parser
 
@@ -388,6 +434,77 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    from repro.dynamic.updates import UpdateBatch, random_update_batch
+    from repro.exceptions import DynamicUpdateError
+
+    # Argument validation and script loading come before the engine build:
+    # the offline phase is the expensive step, and misuse should fail fast.
+    if (args.script is None) == (args.random is None):
+        raise DynamicUpdateError("exactly one of --script or --random is required")
+    graph = load_graph_json(args.graph)
+    if args.script is not None:
+        batch = UpdateBatch.load(args.script)
+    else:
+        focus = args.focus
+        if focus is not None and focus not in graph:
+            # Graph JSON vertex ids are ints or strings; retry the int form.
+            try:
+                focus = int(focus)
+            except ValueError:
+                pass
+        batch = random_update_batch(
+            graph,
+            args.random,
+            rng=args.seed,
+            insert_ratio=args.insert_ratio,
+            focus=focus,
+            focus_radius=args.focus_radius,
+        )
+    batch.validate_against(graph)
+    if args.out_script:
+        batch.save(args.out_script)
+        print(f"edit script ({len(batch)} edits) written to {args.out_script}")
+
+    if args.index:
+        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
+    else:
+        engine = InfluentialCommunityEngine.build(graph)
+
+    # max(..., 1) keeps range()'s step legal when the script is empty.
+    chunk = max(len(batch), 1) if args.batch_size is None else max(args.batch_size, 1)
+    rows = []
+    for start in range(0, len(batch), chunk):
+        report = engine.apply_updates(
+            UpdateBatch(batch[start:start + chunk]),
+            damage_threshold=args.damage_threshold,
+        )
+        rows.append(
+            {
+                "edits": f"{start}..{min(start + chunk, len(batch)) - 1}",
+                "mode": report.mode,
+                "affected": report.affected_vertices,
+                "damage": round(report.damage_ratio, 3),
+                "truss_changed": report.truss_changed_edges,
+                "new_vertices": report.new_vertices,
+                "wall_clock_s": round(report.elapsed_seconds, 4),
+            }
+        )
+    if rows:
+        print(format_table(rows, title="dynamic update replay"))
+    print(
+        f"graph after replay: |V| = {graph.num_vertices()}, |E| = {graph.num_edges()} "
+        f"(epoch {engine.epoch})"
+    )
+    if args.out_graph:
+        save_graph_json(graph, args.out_graph)
+        print(f"mutated graph written to {args.out_graph}")
+    if args.out_index:
+        engine.save_index(args.out_index)
+        print(f"refreshed index written to {args.out_index}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
@@ -397,6 +514,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "serve": _command_serve,
     "batch": _command_serve,
+    "update": _command_update,
 }
 
 

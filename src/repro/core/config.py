@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.dynamic.maintenance import DEFAULT_DAMAGE_THRESHOLD
 from repro.exceptions import QueryParameterError
 from repro.index.precompute import DEFAULT_MAX_RADIUS, DEFAULT_THRESHOLDS
 from repro.index.tree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY
@@ -32,6 +33,11 @@ class EngineConfig:
         Fanout ``gamma`` of non-leaf index nodes.
     leaf_capacity:
         Number of vertices per leaf node.
+    damage_threshold:
+        Dynamic updates: when the fraction of centre vertices whose
+        pre-computed records an edit batch invalidates exceeds this,
+        ``apply_updates`` falls back to a full rebuild instead of patching
+        (1.0 never rebuilds; small values rebuild eagerly).
     """
 
     max_radius: int = DEFAULT_MAX_RADIUS
@@ -39,6 +45,7 @@ class EngineConfig:
     num_bits: int = DEFAULT_NUM_BITS
     fanout: int = DEFAULT_FANOUT
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY
+    damage_threshold: float = DEFAULT_DAMAGE_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.max_radius < 1:
@@ -58,6 +65,10 @@ class EngineConfig:
             raise QueryParameterError(f"fanout must be >= 2, got {self.fanout}")
         if self.leaf_capacity < 1:
             raise QueryParameterError(f"leaf_capacity must be >= 1, got {self.leaf_capacity}")
+        if not 0.0 < self.damage_threshold <= 1.0:
+            raise QueryParameterError(
+                f"damage_threshold must be in (0, 1], got {self.damage_threshold}"
+            )
 
     @classmethod
     def paper_defaults(cls) -> "EngineConfig":
@@ -72,4 +83,5 @@ class EngineConfig:
             "B": self.num_bits,
             "fanout": self.fanout,
             "leaf_capacity": self.leaf_capacity,
+            "damage_threshold": self.damage_threshold,
         }

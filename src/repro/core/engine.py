@@ -18,12 +18,22 @@ Example
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.config import EngineConfig
+from repro.exceptions import QueryParameterError
+from repro.dynamic.maintenance import (
+    UpdateReport,
+    affected_centers,
+    refresh_vertex_aggregates,
+)
+from repro.dynamic.truss_maintenance import IncrementalTrussState
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
 from repro.graph.social_network import SocialNetwork, VertexId
 from repro.graph.validation import validate_graph
+from repro.index.patch import patch_tree_index
 from repro.index.precompute import precompute
 from repro.index.serialization import load_index, save_index
 from repro.index.tree import TreeIndex, build_tree_index
@@ -47,6 +57,10 @@ class InfluentialCommunityEngine:
         self.graph = graph
         self.index = index
         self.config = config
+        #: Bumped by every effective :meth:`apply_updates`; serving layers tag
+        #: their cache keys with it so pre-update entries can never hit.
+        self.epoch = 0
+        self._truss_state: Optional[IncrementalTrussState] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -133,6 +147,162 @@ class InfluentialCommunityEngine:
         """Answer a DTopL-ICDE query (Definition 5, Algorithm 4)."""
         processor = DTopLProcessor(self.graph, index=self.index, pruning=pruning)
         return processor.query(query)
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates
+    # ------------------------------------------------------------------ #
+    def apply_updates(
+        self,
+        batch: Union[UpdateBatch, Iterable[EdgeUpdate]],
+        damage_threshold: Optional[float] = None,
+        rebuild: bool = False,
+    ) -> UpdateReport:
+        """Apply an edge edit script and bring the index back in sync.
+
+        The batch is validated up front (all-or-nothing), applied to the live
+        graph with incremental support/trussness maintenance, and then the
+        pre-computed records of the *affected* centre vertices — those whose
+        hop balls, support bounds or influence propagation the edits can
+        reach — are recomputed and patched into the tree.  When the affected
+        fraction exceeds the damage threshold (or ``rebuild=True``) the
+        offline phase is re-run instead, which is cheaper past that point.
+
+        Either way the engine's :attr:`epoch` is bumped, which invalidates
+        every cache a :class:`~repro.serve.batch.BatchQueryEngine` holds over
+        this engine.
+
+        Parameters
+        ----------
+        batch:
+            An :class:`~repro.dynamic.updates.UpdateBatch` (or any iterable
+            of :class:`~repro.dynamic.updates.EdgeUpdate`).
+        damage_threshold:
+            Overrides ``config.damage_threshold`` for this call (same
+            ``(0, 1]`` domain).
+        rebuild:
+            Force the full-rebuild path regardless of damage.  This skips
+            the incremental bookkeeping entirely (it would be discarded), so
+            the report's edge-change counters are 0 and its damage ratio 1.0.
+
+        Returns
+        -------
+        UpdateReport
+            What happened: mode, affected counts, damage ratio, timings.
+        """
+        if not isinstance(batch, UpdateBatch):
+            batch = UpdateBatch(batch)
+        threshold = (
+            self.config.damage_threshold if damage_threshold is None else damage_threshold
+        )
+        if not 0.0 < threshold <= 1.0:
+            # Same domain EngineConfig enforces for the persistent knob.
+            raise QueryParameterError(
+                f"damage_threshold must be in (0, 1], got {threshold}"
+            )
+        started = time.perf_counter()
+        if len(batch) == 0:
+            return UpdateReport(
+                mode="noop", insertions=0, deletions=0, new_vertices=0,
+                affected_vertices=0, total_vertices=self.graph.num_vertices(),
+                support_changed_edges=0, truss_changed_edges=0,
+                damage_ratio=0.0, damage_threshold=threshold, epoch=self.epoch,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        if rebuild:
+            # A forced rebuild discards all incremental bookkeeping, so skip
+            # it: mutate the graph directly and re-run the offline phase.
+            batch.validate_against(self.graph)
+            new_vertices = batch.apply_to(self.graph)
+            self._truss_state = None
+            self._rebuild_offline()
+            self.epoch += 1
+            total = self.graph.num_vertices()
+            return UpdateReport(
+                mode="rebuild",
+                insertions=batch.num_insertions,
+                deletions=batch.num_deletions,
+                new_vertices=len(new_vertices),
+                affected_vertices=total,
+                total_vertices=total,
+                support_changed_edges=0,
+                truss_changed_edges=0,
+                damage_ratio=1.0,
+                damage_threshold=threshold,
+                epoch=self.epoch,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        state = self._truss_state
+        if state is None:
+            # First dynamic batch since (re)build: adopt the offline support
+            # map by reference so it stays in sync, and pay one full peeling
+            # to seed the trussness map.
+            state = IncrementalTrussState(
+                self.graph, supports=self.index.precomputed.global_edge_support
+            )
+            self._truss_state = state
+        # state.apply validates the whole script before mutating anything, so
+        # an invalid batch raises here and leaves the engine untouched.
+        delta = state.apply(batch)
+
+        affected = affected_centers(
+            self.graph,
+            delta,
+            max_radius=self.index.max_radius,
+            theta_min=min(self.index.thresholds),
+        )
+        total = self.graph.num_vertices()
+        ratio = len(affected) / total if total else 0.0
+
+        if ratio > threshold:
+            self._rebuild_offline()
+            self._truss_state = None
+            mode = "rebuild"
+        else:
+            new_vertices = list(delta.new_vertices)
+            new_vertex_set = set(new_vertices)
+            ordered = sorted(affected, key=repr)
+            refresh_vertex_aggregates(
+                self.graph, self.index.precomputed, ordered, state
+            )
+            patch_tree_index(
+                self.index,
+                changed_vertices=[v for v in ordered if v not in new_vertex_set],
+                added_vertices=new_vertices,
+            )
+            mode = "incremental"
+
+        self.epoch += 1
+        return UpdateReport(
+            mode=mode,
+            insertions=batch.num_insertions,
+            deletions=batch.num_deletions,
+            new_vertices=len(delta.new_vertices),
+            affected_vertices=len(affected),
+            total_vertices=total,
+            support_changed_edges=len(delta.support_changed),
+            truss_changed_edges=len(delta.truss_changed),
+            damage_ratio=ratio,
+            damage_threshold=threshold,
+            epoch=self.epoch,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _rebuild_offline(self) -> None:
+        """Re-run the offline phase over the current graph (in place)."""
+        precomputed = precompute(
+            self.graph,
+            max_radius=self.config.max_radius,
+            thresholds=self.config.thresholds,
+            num_bits=self.config.num_bits,
+        )
+        self.index = build_tree_index(
+            self.graph,
+            precomputed=precomputed,
+            fanout=self.config.fanout,
+            leaf_capacity=self.config.leaf_capacity,
+        )
 
     # ------------------------------------------------------------------ #
     # batch serving

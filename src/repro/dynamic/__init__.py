@@ -1,0 +1,37 @@
+"""Dynamic-graph subsystem: edit scripts, incremental truss & index maintenance.
+
+Social networks mutate continuously; this package keeps a built
+:class:`~repro.core.engine.InfluentialCommunityEngine` correct under edge
+insertions and deletions without paying a full offline-phase rebuild:
+
+* :mod:`repro.dynamic.updates` — :class:`EdgeUpdate` / :class:`UpdateBatch`
+  edit scripts (JSON round trip, random script generation);
+* :mod:`repro.dynamic.truss_maintenance` — exact incremental edge-support and
+  trussness maintenance via a local fixpoint worklist;
+* :mod:`repro.dynamic.maintenance` — affected-centre analysis, in-place
+  refresh of the pre-computed records, and the :class:`UpdateReport`
+  returned by ``engine.apply_updates``.
+"""
+
+from repro.dynamic.maintenance import (
+    DEFAULT_DAMAGE_THRESHOLD,
+    UpdateReport,
+    affected_centers,
+    refresh_vertex_aggregates,
+    reverse_influence_set,
+)
+from repro.dynamic.truss_maintenance import IncrementalTrussState, UpdateDelta
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch, random_update_batch
+
+__all__ = [
+    "DEFAULT_DAMAGE_THRESHOLD",
+    "EdgeUpdate",
+    "IncrementalTrussState",
+    "UpdateBatch",
+    "UpdateDelta",
+    "UpdateReport",
+    "affected_centers",
+    "random_update_batch",
+    "refresh_vertex_aggregates",
+    "reverse_influence_set",
+]

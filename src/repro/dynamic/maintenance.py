@@ -1,0 +1,213 @@
+"""Affected-region analysis and incremental index refresh.
+
+After :class:`~repro.dynamic.truss_maintenance.IncrementalTrussState` has
+applied a batch, this module decides *which centre vertices* need their
+pre-computed records (Algorithm 2 aggregates) rebuilt, refreshes exactly
+those, and reports the damage ratio the engine uses for its
+incremental-vs-rebuild decision.
+
+A centre ``v`` is affected when any ingredient of its record can differ on
+the mutated graph:
+
+* its ``r``-hop ball gained or lost members — ``v`` lies within ``r_max``
+  hops of a modified endpoint (in the pre- or post-update graph, so deleted
+  edges still count as traversable);
+* the support of an edge inside the ball changed, or the trussness of an
+  incident edge changed — those edges' endpoints are seeds too;
+* its influence propagation can cross a modified edge: a path from the seed
+  community through edge ``(a, b)`` with product >= theta only exists when
+  some seed reaches ``a`` with product >= theta, so the reverse max-product
+  Dijkstra from the modified endpoints (cut off at the smallest pre-selected
+  threshold) finds every seed vertex whose propagation could change, and the
+  centres within ``r_max`` hops of them inherit the taint.
+
+Everything outside that set keeps records that are bit-for-bit identical to
+what a fresh pre-computation would produce — the equivalence property suite
+enforces this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dynamic.truss_maintenance import IncrementalTrussState, UpdateDelta
+from repro.graph.social_network import SocialNetwork, VertexId
+from repro.index.precompute import PrecomputedData, compute_vertex_record
+from repro.keywords.bitvector import BitVector
+
+#: Default fraction of vertices past which patching loses to re-building.
+DEFAULT_DAMAGE_THRESHOLD = 0.35
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`~repro.core.engine.InfluentialCommunityEngine.apply_updates` call did."""
+
+    mode: str  # "incremental" | "rebuild" | "noop"
+    insertions: int
+    deletions: int
+    new_vertices: int
+    affected_vertices: int
+    total_vertices: int
+    support_changed_edges: int
+    truss_changed_edges: int
+    damage_ratio: float
+    damage_threshold: float
+    epoch: int
+    elapsed_seconds: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for reports, the CLI and the dynamic-update benchmark."""
+        return {
+            "mode": self.mode,
+            "insertions": self.insertions,
+            "deletions": self.deletions,
+            "new_vertices": self.new_vertices,
+            "affected_vertices": self.affected_vertices,
+            "total_vertices": self.total_vertices,
+            "support_changed_edges": self.support_changed_edges,
+            "truss_changed_edges": self.truss_changed_edges,
+            "damage_ratio": round(self.damage_ratio, 4),
+            "damage_threshold": self.damage_threshold,
+            "epoch": self.epoch,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def _union_adjacency(graph: SocialNetwork, delta: UpdateDelta):
+    """Neighbour iteration over the post-update graph plus deleted edges.
+
+    Returns ``(neighbors, probability)`` callables.  Traversing the union of
+    the pre- and post-update edge sets over-approximates reachability in both
+    graphs at once, which keeps the taint analysis one-pass and sound.
+    """
+    extra: dict[VertexId, dict[VertexId, float]] = {}
+    for u, v, p_uv, p_vu in delta.deleted_edges:
+        extra.setdefault(u, {})[v] = p_uv
+        extra.setdefault(v, {})[u] = p_vu
+    adjacency = graph.adjacency()
+
+    def neighbors(vertex: VertexId):
+        live = adjacency.get(vertex, ())
+        yield from live
+        for neighbour in extra.get(vertex, ()):
+            if neighbour not in live:
+                yield neighbour
+
+    def probability(source: VertexId, target: VertexId) -> float:
+        source_adjacency = adjacency.get(source)
+        if source_adjacency is not None and target in source_adjacency:
+            return graph.probability(source, target)
+        return extra[source][target]
+
+    return neighbors, probability
+
+
+def reverse_influence_set(
+    graph: SocialNetwork,
+    delta: UpdateDelta,
+    sources: Iterable[VertexId],
+    threshold: float,
+) -> set:
+    """Vertices that reach a modified endpoint with max-product >= threshold.
+
+    Runs a reverse multi-source max-product Dijkstra over the union of the
+    pre- and post-update edge sets: the step from ``vertex`` back to
+    ``neighbour`` multiplies by ``p(neighbour, vertex)`` — the probability the
+    neighbour activates the current vertex — because influence flows forward
+    along the path being reconstructed.  With ``threshold <= 0`` propagation
+    is unbounded, so every vertex is returned (the caller falls back to a
+    rebuild).
+    """
+    sources = [s for s in sources if graph.has_vertex(s)]
+    if threshold <= 0.0:
+        return set(graph.vertices())
+    neighbors, probability = _union_adjacency(graph, delta)
+    best: dict[VertexId, float] = {}
+    counter = 0
+    heap: list[tuple[float, int, VertexId]] = []
+    for source in sources:
+        heap.append((-1.0, counter, source))
+        counter += 1
+    heapq.heapify(heap)
+    while heap:
+        negative, _, vertex = heapq.heappop(heap)
+        if vertex in best:
+            continue
+        product = -negative
+        best[vertex] = product
+        for neighbour in neighbors(vertex):
+            if neighbour in best:
+                continue
+            backwards = product * probability(neighbour, vertex)
+            if backwards < threshold:
+                continue
+            heapq.heappush(heap, (-backwards, counter, neighbour))
+            counter += 1
+    return set(best)
+
+
+def affected_centers(
+    graph: SocialNetwork,
+    delta: UpdateDelta,
+    max_radius: int,
+    theta_min: float,
+) -> set:
+    """Centre vertices whose pre-computed records may differ after ``delta``."""
+    modified = set(delta.touched_vertices)
+    seeds = reverse_influence_set(graph, delta, modified, theta_min)
+    seeds.update(modified)
+    seeds.update(delta.changed_edge_vertices())
+    seeds = {vertex for vertex in seeds if graph.has_vertex(vertex)}
+
+    neighbors, _ = _union_adjacency(graph, delta)
+    affected = set(seeds)
+    frontier = list(seeds)
+    for _ in range(max_radius):
+        next_frontier: list[VertexId] = []
+        for vertex in frontier:
+            for neighbour in neighbors(vertex):
+                if neighbour not in affected:
+                    affected.add(neighbour)
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    return {vertex for vertex in affected if graph.has_vertex(vertex)}
+
+
+def refresh_vertex_aggregates(
+    graph: SocialNetwork,
+    data: PrecomputedData,
+    vertices: Iterable[VertexId],
+    truss_state: IncrementalTrussState,
+) -> int:
+    """Recompute the records of ``vertices`` in place; return how many.
+
+    Uses the same :func:`compute_vertex_record` code path as the full offline
+    pass, against the (incrementally maintained) global supports in ``data``
+    and the trussness held by ``truss_state``.
+    """
+    cache: dict[VertexId, BitVector] = {}
+
+    def keyword_vector_of(vertex: VertexId) -> BitVector:
+        vector = cache.get(vertex)
+        if vector is None:
+            vector = BitVector.from_keywords(graph.keywords(vertex), data.num_bits)
+            cache[vertex] = vector
+        return vector
+
+    refreshed = 0
+    for vertex in vertices:
+        data.vertex_aggregates[vertex] = compute_vertex_record(
+            graph,
+            vertex,
+            max_radius=data.max_radius,
+            thresholds=data.thresholds,
+            num_bits=data.num_bits,
+            edge_supports=data.global_edge_support,
+            keyword_vector_of=keyword_vector_of,
+            center_trussness=truss_state.trussness_of_vertex(vertex),
+        )
+        refreshed += 1
+    return refreshed

@@ -1,0 +1,326 @@
+"""Incremental truss maintenance: exact supports and trussness under edits.
+
+:class:`IncrementalTrussState` keeps the edge-support map and the full truss
+decomposition of a mutable :class:`~repro.graph.social_network.SocialNetwork`
+up to date while an :class:`~repro.dynamic.updates.UpdateBatch` is applied,
+touching only the region an edit can actually reach instead of re-peeling the
+whole graph.
+
+The algorithm rests on the local fixpoint characterisation of trussness (the
+truss analogue of the h-index characterisation of core numbers): ``tau(f)``
+is the unique greatest labelling ``L`` with
+
+    ``L(f) = 2 + max{ k : f lies in >= k triangles whose other two edges g, h
+    both satisfy min(L(g), L(h)) >= k + 2 }``
+
+Starting from any *upper bound* of the new trussness and repeatedly applying
+the operator above (monotonically decreasing, via a worklist that re-examines
+an edge only when a supporting triangle drops below its level) converges to
+the exact decomposition of the mutated graph:
+
+* **deletions** only lower trussness, so the old values are already a valid
+  upper bound — the worklist starts from the edges whose support changed;
+* **insertions** raise the trussness of an existing edge by at most one, and
+  only for edges triangle-connected to the new edge through edges that could
+  sit in the same k-truss.  A level-labelled BFS over triangles finds that
+  candidate set; its estimates are bumped by one (the new edge starts at
+  ``support + 2``) and the worklist settles them back down to exact values.
+
+Every quantity is exact after :meth:`IncrementalTrussState.apply` returns —
+the equivalence test-suite checks bit-for-bit equality against a fresh
+:func:`~repro.truss.decomposition.truss_decomposition` of the mutated graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dynamic.updates import DEFAULT_INSERT_PROBABILITY, INSERT, UpdateBatch
+from repro.graph.social_network import SocialNetwork, VertexId
+from repro.truss.decomposition import TrussDecomposition, truss_decomposition
+from repro.truss.support import edge_key, edge_support
+
+
+@dataclass
+class UpdateDelta:
+    """What one applied batch actually changed (consumed by index refresh).
+
+    ``deleted_edges`` records the removed edges *with* their directional
+    probabilities so the affected-region analysis can still traverse them
+    (paths through a deleted edge existed in the pre-update graph).
+    """
+
+    inserted_edges: list = field(default_factory=list)  # (u, v) pairs
+    deleted_edges: list = field(default_factory=list)  # (u, v, p_uv, p_vu)
+    new_vertices: list = field(default_factory=list)  # creation order
+    touched_vertices: set = field(default_factory=set)  # endpoints of all edits
+    support_changed: set = field(default_factory=set)  # surviving edges only
+    truss_changed: set = field(default_factory=set)  # surviving edges only
+    _support_baseline: dict = field(default_factory=dict)
+    _truss_baseline: dict = field(default_factory=dict)
+
+    def note_support(self, key: frozenset, old: int) -> None:
+        self._support_baseline.setdefault(key, old)
+
+    def note_trussness(self, key: frozenset, old: int) -> None:
+        self._truss_baseline.setdefault(key, old)
+
+    def finalize(self, supports: dict, trussness: dict) -> None:
+        """Reduce the per-edit notes to net changes over the whole batch."""
+        self.support_changed = {
+            key
+            for key, old in self._support_baseline.items()
+            if key in supports and supports[key] != old
+        }
+        self.truss_changed = {
+            key
+            for key, old in self._truss_baseline.items()
+            if key in trussness and trussness[key] != old
+        }
+
+    def changed_edge_vertices(self) -> set:
+        """Endpoints of every support- or trussness-changed surviving edge."""
+        vertices: set = set()
+        for key in self.support_changed | self.truss_changed:
+            vertices.update(key)
+        return vertices
+
+
+class IncrementalTrussState:
+    """Exact supports + trussness of a graph, maintained under edge edits.
+
+    Parameters
+    ----------
+    graph:
+        The live network; :meth:`apply` mutates it.
+    supports:
+        Optional pre-computed support map to adopt **by reference** — passing
+        ``PrecomputedData.global_edge_support`` keeps the offline data in sync
+        with every edit for free.
+    decomposition:
+        Optional decomposition to seed the trussness map from; computed fresh
+        (one full peeling) when omitted.
+    """
+
+    def __init__(
+        self,
+        graph: SocialNetwork,
+        supports: Optional[dict] = None,
+        decomposition: Optional[TrussDecomposition] = None,
+    ) -> None:
+        self.graph = graph
+        self.supports = supports if supports is not None else edge_support(graph)
+        if decomposition is None:
+            decomposition = truss_decomposition(graph)
+        self.trussness = dict(decomposition.edge_trussness)
+        self._vertex_trussness = dict(decomposition.vertex_trussness)
+
+    # ------------------------------------------------------------------ #
+    # read access
+    # ------------------------------------------------------------------ #
+    def trussness_of_vertex(self, vertex: VertexId) -> int:
+        """Trussness of ``vertex`` in the current graph (2 when isolated)."""
+        return self._vertex_trussness.get(vertex, 2)
+
+    def decomposition(self) -> TrussDecomposition:
+        """Return the current decomposition as a plain read-only object."""
+        return TrussDecomposition(
+            edge_trussness=dict(self.trussness),
+            vertex_trussness=dict(self._vertex_trussness),
+        )
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def apply(self, batch: UpdateBatch) -> UpdateDelta:
+        """Apply ``batch`` to the graph, maintaining supports and trussness.
+
+        The batch is validated up front (all-or-nothing); each edit then
+        updates supports locally and settles trussness to the exact values
+        for the intermediate graph before the next edit is applied.
+        """
+        batch.validate_against(self.graph)
+        delta = UpdateDelta()
+        for update in batch:
+            if update.op == INSERT:
+                self._apply_insert(update, delta)
+            else:
+                self._apply_delete(update, delta)
+        delta.finalize(self.supports, self.trussness)
+        self._refresh_vertex_trussness(delta)
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # single edits
+    # ------------------------------------------------------------------ #
+    def _apply_delete(self, update, delta: UpdateDelta) -> None:
+        u, v = update.u, update.v
+        graph = self.graph
+        p_uv = graph.probability(u, v)
+        p_vu = graph.probability(v, u)
+        common = graph.neighbor_set(u) & graph.neighbor_set(v)
+        graph.remove_edge(u, v)
+
+        key = edge_key(u, v)
+        delta.note_support(key, self.supports.get(key, 0))
+        delta.note_trussness(key, self.trussness.get(key, 2))
+        self.supports.pop(key, None)
+        self.trussness.pop(key, None)
+        delta.deleted_edges.append((u, v, p_uv, p_vu))
+        delta.touched_vertices.update((u, v))
+
+        dirty: list[frozenset] = []
+        for w in common:
+            for other in (edge_key(u, w), edge_key(v, w)):
+                delta.note_support(other, self.supports[other])
+                self.supports[other] -= 1
+                dirty.append(other)
+        self._settle(dirty, delta)
+
+    def _apply_insert(self, update, delta: UpdateDelta) -> None:
+        u, v = update.u, update.v
+        graph = self.graph
+        for vertex, keywords in ((u, update.keywords_u), (v, update.keywords_v)):
+            if not graph.has_vertex(vertex):
+                graph.add_vertex(vertex, keywords)
+                delta.new_vertices.append(vertex)
+                self._vertex_trussness[vertex] = 2
+        p_uv = DEFAULT_INSERT_PROBABILITY if update.p_uv is None else update.p_uv
+        graph.add_edge(u, v, p_uv, update.p_vu)
+
+        key = edge_key(u, v)
+        common = graph.neighbor_set(u) & graph.neighbor_set(v)
+        self.supports[key] = len(common)
+        delta.inserted_edges.append((u, v))
+        delta.touched_vertices.update((u, v))
+        for w in common:
+            for other in (edge_key(u, w), edge_key(v, w)):
+                delta.note_support(other, self.supports[other])
+                self.supports[other] += 1
+
+        candidates = self._insertion_candidates(key)
+        for candidate in candidates:
+            if candidate == key:
+                continue
+            delta.note_trussness(candidate, self.trussness[candidate])
+            self.trussness[candidate] += 1
+        self.trussness[key] = self.supports[key] + 2
+        self._settle(candidates, delta)
+
+    # ------------------------------------------------------------------ #
+    # the affected-region machinery
+    # ------------------------------------------------------------------ #
+    def _triangles_of(self, key: frozenset):
+        """Yield ``(other_edge_1, other_edge_2)`` for each triangle of ``key``."""
+        a, b = tuple(key)
+        graph = self.graph
+        common = graph.neighbor_set(a) & graph.neighbor_set(b)
+        for w in common:
+            yield edge_key(a, w), edge_key(b, w)
+
+    def _insertion_candidates(self, new_edge: frozenset) -> list[frozenset]:
+        """Edges whose trussness may rise after inserting ``new_edge``.
+
+        Level-labelled BFS over triangles: a label ``l(f)`` bounds the largest
+        ``k`` for which ``f`` could sit in the same (new) k-truss as the
+        inserted edge, using ``tau + 1`` as the per-edge upper bound (a single
+        insertion raises trussness by at most one).  An edge is a candidate
+        when its label reaches ``tau + 1``; edges below that only *relay* the
+        traversal.  The set provably contains every edge whose trussness
+        rises: inside the new maximal k-truss, the riser is triangle-connected
+        to the inserted edge through edges of trussness >= k, each of which
+        carries a label >= k here.
+        """
+        start_level = self.supports[new_edge] + 2
+        levels: dict[frozenset, int] = {new_edge: start_level}
+        queue: deque[frozenset] = deque((new_edge,))
+        candidates: list[frozenset] = [new_edge]
+        trussness = self.trussness
+
+        def upper_bound(edge: frozenset) -> int:
+            if edge == new_edge:
+                return start_level
+            return trussness[edge] + 1
+
+        while queue:
+            edge = queue.popleft()
+            level = levels[edge]
+            for first, second in self._triangles_of(edge):
+                bound_first = upper_bound(first)
+                bound_second = upper_bound(second)
+                reachable = min(level, bound_first, bound_second)
+                if reachable < 3:
+                    continue
+                for other, bound in ((first, bound_first), (second, bound_second)):
+                    if reachable > levels.get(other, 2):
+                        if (
+                            other != new_edge
+                            and levels.get(other, 2) < bound <= reachable
+                        ):
+                            candidates.append(other)
+                        levels[other] = reachable
+                        queue.append(other)
+        return candidates
+
+    def _local_trussness(self, key: frozenset) -> int:
+        """The local fixpoint operator ``H`` evaluated at one edge."""
+        trussness = self.trussness
+        values = sorted(
+            (
+                min(trussness[first], trussness[second])
+                for first, second in self._triangles_of(key)
+            ),
+            reverse=True,
+        )
+        best = 2
+        for index, value in enumerate(values):
+            feasible = min(value, index + 3)
+            if feasible > best:
+                best = feasible
+        return best
+
+    def _settle(self, dirty, delta: UpdateDelta) -> None:
+        """Run the decreasing worklist until the labelling is a fixpoint."""
+        queue: deque[frozenset] = deque(dirty)
+        queued = set(queue)
+        trussness = self.trussness
+        while queue:
+            key = queue.popleft()
+            queued.discard(key)
+            current = trussness.get(key)
+            if current is None:  # edge deleted after being enqueued
+                continue
+            settled = self._local_trussness(key)
+            if settled >= current:
+                continue
+            delta.note_trussness(key, current)
+            trussness[key] = settled
+            # A triangle supports a neighbour at level l only while both
+            # other edges carry >= l; the drop from `current` to `settled`
+            # can only invalidate neighbours between those levels.
+            for first, second in self._triangles_of(key):
+                for other in (first, second):
+                    if settled < trussness[other] <= current and other not in queued:
+                        queue.append(other)
+                        queued.add(other)
+
+    def _refresh_vertex_trussness(self, delta: UpdateDelta) -> None:
+        """Recompute vertex trussness around everything the batch touched."""
+        graph = self.graph
+        trussness = self.trussness
+        stale = set(delta.touched_vertices)
+        stale.update(delta.changed_edge_vertices())
+        for key in delta.truss_changed:
+            stale.update(key)
+        for vertex in stale:
+            if not graph.has_vertex(vertex):  # pragma: no cover - edge-only edits
+                self._vertex_trussness.pop(vertex, None)
+                continue
+            best = 2
+            for neighbour in graph.neighbors(vertex):
+                value = trussness[edge_key(vertex, neighbour)]
+                if value > best:
+                    best = value
+            self._vertex_trussness[vertex] = best

@@ -67,3 +67,12 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """Raised when the batch serving layer is misconfigured or misused."""
+
+
+class DynamicUpdateError(ReproError):
+    """Raised when an edge edit script is malformed or inapplicable.
+
+    Edit scripts have sequential semantics, so validation simulates the whole
+    script against the current graph before anything is mutated: a failing
+    script leaves the engine untouched.
+    """

@@ -110,6 +110,68 @@ class PrecomputedData:
             )
 
 
+def compute_vertex_record(
+    graph: SocialNetwork,
+    vertex: VertexId,
+    max_radius: int,
+    thresholds: tuple[float, ...],
+    num_bits: int,
+    edge_supports: dict,
+    keyword_vector_of,
+    center_trussness: int,
+) -> VertexAggregates:
+    """Compute the pre-computed record of one centre vertex (Algorithm 2 body).
+
+    Shared by the full offline pass below and by the incremental refresh in
+    :mod:`repro.dynamic.maintenance` — one code path guarantees the patched
+    aggregates are bit-for-bit identical to a fresh pre-computation.
+
+    ``keyword_vector_of`` maps a vertex to its keyword :class:`BitVector`
+    (a dict lookup in the full pass, an on-demand builder in the refresh);
+    ``edge_supports`` holds supports measured in the full graph.
+    """
+    adjacency = graph.adjacency()
+    smallest_theta = thresholds[0]
+    distances = bfs_distances(graph, vertex, max_depth=max_radius)
+    per_radius: dict[int, RadiusAggregates] = {}
+    # Influence propagation once at the smallest threshold for the largest
+    # radius is NOT reusable across radii (the seed set changes), so we
+    # propagate per radius but reuse one propagation for all thresholds.
+    for radius in range(1, max_radius + 1):
+        members = [v for v, d in distances.items() if d <= radius]
+        member_set = frozenset(members)
+
+        bitvector = BitVector.empty(num_bits)
+        for member in members:
+            bitvector = bitvector | keyword_vector_of(member)
+
+        support_bound = 0
+        for member in members:
+            for neighbour in adjacency[member]:
+                if neighbour in member_set:
+                    support = edge_supports.get(frozenset((member, neighbour)), 0)
+                    if support > support_bound:
+                        support_bound = support
+
+        influenced = community_propagation(graph, member_set, smallest_theta)
+        score_bounds = tuple(
+            (theta, sum(p for p in influenced.cpp.values() if p >= theta))
+            for theta in thresholds
+        )
+        per_radius[radius] = RadiusAggregates(
+            radius=radius,
+            bitvector=bitvector,
+            support_upper_bound=support_bound,
+            score_bounds=score_bounds,
+        )
+    return VertexAggregates(
+        vertex=vertex,
+        keyword_bitvector=keyword_vector_of(vertex),
+        per_radius=per_radius,
+        center_trussness=center_trussness,
+    )
+
+
 def precompute(
     graph: SocialNetwork,
     max_radius: int = DEFAULT_MAX_RADIUS,
@@ -161,46 +223,16 @@ def precompute(
     decomposition = truss_decomposition(graph)
 
     centre_vertices = list(vertices) if vertices is not None else list(graph.vertices())
-    adjacency = graph.adjacency()
-    smallest_theta = ordered_thresholds[0]
 
     for vertex in centre_vertices:
-        distances = bfs_distances(graph, vertex, max_depth=max_radius)
-        per_radius: dict[int, RadiusAggregates] = {}
-        # Influence propagation once at the smallest threshold for the largest
-        # radius is NOT reusable across radii (the seed set changes), so we
-        # propagate per radius but reuse one propagation for all thresholds.
-        for radius in range(1, max_radius + 1):
-            members = [v for v, d in distances.items() if d <= radius]
-            member_set = frozenset(members)
-
-            bitvector = BitVector.empty(num_bits)
-            for member in members:
-                bitvector = bitvector | keyword_vectors[member]
-
-            support_bound = 0
-            for member in members:
-                for neighbour in adjacency[member]:
-                    if neighbour in member_set:
-                        support = data.global_edge_support.get(frozenset((member, neighbour)), 0)
-                        if support > support_bound:
-                            support_bound = support
-
-            influenced = community_propagation(graph, member_set, smallest_theta)
-            score_bounds = tuple(
-                (theta, sum(p for p in influenced.cpp.values() if p >= theta))
-                for theta in ordered_thresholds
-            )
-            per_radius[radius] = RadiusAggregates(
-                radius=radius,
-                bitvector=bitvector,
-                support_upper_bound=support_bound,
-                score_bounds=score_bounds,
-            )
-        data.vertex_aggregates[vertex] = VertexAggregates(
-            vertex=vertex,
-            keyword_bitvector=keyword_vectors[vertex],
-            per_radius=per_radius,
+        data.vertex_aggregates[vertex] = compute_vertex_record(
+            graph,
+            vertex,
+            max_radius=max_radius,
+            thresholds=ordered_thresholds,
+            num_bits=num_bits,
+            edge_supports=data.global_edge_support,
+            keyword_vector_of=keyword_vectors.__getitem__,
             center_trussness=decomposition.trussness_of_vertex(vertex),
         )
     return data

@@ -41,10 +41,15 @@ class DTopLProcessor:
         index: Optional[TreeIndex] = None,
         pruning: Optional[PruningConfig] = None,
         propagation_cache=None,
+        cache_epoch: int = 0,
     ) -> None:
         self.graph = graph
         self.topl = TopLProcessor(
-            graph, index=index, pruning=pruning, propagation_cache=propagation_cache
+            graph,
+            index=index,
+            pruning=pruning,
+            propagation_cache=propagation_cache,
+            cache_epoch=cache_epoch,
         )
 
     @property

@@ -105,8 +105,11 @@ class TopLProcessor:
         Optional LRU cache (any object with ``get(key)`` / ``put(key, value)``,
         see :class:`repro.serve.cache.LRUCache`) memoising
         ``community_propagation`` results keyed on ``(vertex set, theta)``.
-        Shared across queries by the serving layer; requires the graph to stay
-        immutable while attached.
+        Shared across queries by the serving layer.
+    cache_epoch:
+        Graph epoch tagged into propagation-cache keys; the serving layer
+        passes the engine's current epoch so entries memoised before a
+        dynamic update can never be served after it.
     """
 
     def __init__(
@@ -115,11 +118,13 @@ class TopLProcessor:
         index: Optional[TreeIndex] = None,
         pruning: Optional[PruningConfig] = None,
         propagation_cache=None,
+        cache_epoch: int = 0,
     ) -> None:
         self.graph = graph
         self.index = index if index is not None else build_tree_index(graph)
         self.pruning = pruning if pruning is not None else PruningConfig.all_enabled()
         self.propagation_cache = propagation_cache
+        self.cache_epoch = cache_epoch
         if propagation_cache is not None:
             # Deferred import: repro.serve imports this module at package
             # init, so the cache helpers cannot be imported at module level.
@@ -279,7 +284,7 @@ class TopLProcessor:
         cache = self.propagation_cache
         if cache is None:
             return community_propagation(self.graph, vertices, theta)
-        key = self._propagation_key(vertices, theta)
+        key = self._propagation_key(vertices, theta, self.cache_epoch)
         influenced = cache.get(key)
         if influenced is not None:
             statistics.propagation_cache_hits += 1

@@ -15,8 +15,11 @@ DTopL-ICDE queries against a single :class:`~repro.core.engine.InfluentialCommun
 
 Results come back in input order in both modes, and the parallel path is
 bit-identical to the sequential one (the online algorithms are
-deterministic).  The graph and index must stay immutable while a serving
-engine is live.
+deterministic).  The graph and index may change *between* calls through
+``engine.apply_updates``: the serving engine detects the epoch bump on the
+next ``answer()``/``run()``, re-binds its processors to the (possibly
+re-built) index, and — because every cache key is epoch-tagged — can never
+serve a result cached before the update.
 
 Cache scope: the whole-result cache lives in the parent and persists across
 batches in *both* modes (parallel answers are folded back into it).  The
@@ -184,18 +187,30 @@ def _build_processors(
     index: TreeIndex,
     pruning: PruningConfig,
     propagation_cache_capacity: int,
+    cache_epoch: int = 0,
+    propagation_cache: Optional[LRUCache] = None,
 ) -> tuple:
-    cache = maybe_cache(propagation_cache_capacity)
-    topl = TopLProcessor(graph, index=index, pruning=pruning, propagation_cache=cache)
-    dtopl = DTopLProcessor(graph, index=index, pruning=pruning, propagation_cache=cache)
+    cache = (
+        propagation_cache
+        if propagation_cache is not None
+        else maybe_cache(propagation_cache_capacity)
+    )
+    topl = TopLProcessor(
+        graph, index=index, pruning=pruning, propagation_cache=cache,
+        cache_epoch=cache_epoch,
+    )
+    dtopl = DTopLProcessor(
+        graph, index=index, pruning=pruning, propagation_cache=cache,
+        cache_epoch=cache_epoch,
+    )
     return topl, dtopl
 
 
 def _worker_init_fork() -> None:
     """Pool initializer for ``fork``: the state arrived with the fork itself."""
     global _WORKER_PROCESSORS
-    graph, index, pruning, capacity = _FORK_STATE
-    _WORKER_PROCESSORS = _build_processors(graph, index, pruning, capacity)
+    graph, index, pruning, capacity, epoch = _FORK_STATE
+    _WORKER_PROCESSORS = _build_processors(graph, index, pruning, capacity, epoch)
 
 
 def _worker_init_rebuild(payload: dict) -> None:
@@ -214,7 +229,11 @@ def _worker_init_rebuild(payload: dict) -> None:
     )
     pruning = PruningConfig(**payload["pruning"])
     _WORKER_PROCESSORS = _build_processors(
-        graph, index, pruning, payload["propagation_cache_capacity"]
+        graph,
+        index,
+        pruning,
+        payload["propagation_cache_capacity"],
+        payload.get("cache_epoch", 0),
     )
 
 
@@ -236,8 +255,9 @@ class BatchQueryEngine:
     Parameters
     ----------
     engine:
-        A ready :class:`~repro.core.engine.InfluentialCommunityEngine` (its
-        graph and index are treated as immutable while serving).
+        A ready :class:`~repro.core.engine.InfluentialCommunityEngine`.
+        Dynamic updates applied to it between calls are absorbed
+        automatically (epoch-tagged caches, processor re-binding).
     config:
         Serving configuration (worker count, cache capacities, start method).
     pruning:
@@ -259,25 +279,42 @@ class BatchQueryEngine:
         self.propagation_cache: Optional[LRUCache] = maybe_cache(
             self.config.propagation_cache_capacity
         )
-        self._topl = TopLProcessor(
-            engine.graph,
-            index=engine.index,
-            pruning=self.pruning,
+        #: Number of times a graph-epoch change was detected and absorbed.
+        self.epoch_refreshes = 0
+        self._epoch = getattr(engine, "epoch", 0)
+        self._rebind_processors()
+
+    def _rebind_processors(self) -> None:
+        self._topl, self._dtopl = _build_processors(
+            self.engine.graph,
+            self.engine.index,
+            self.pruning,
+            self.config.propagation_cache_capacity,
+            cache_epoch=self._epoch,
             propagation_cache=self.propagation_cache,
         )
-        self._dtopl = DTopLProcessor(
-            engine.graph,
-            index=engine.index,
-            pruning=self.pruning,
-            propagation_cache=self.propagation_cache,
-        )
+
+    def _refresh_if_stale(self) -> None:
+        """Absorb a dynamic update of the served engine.
+
+        ``apply_updates`` bumps ``engine.epoch`` (and may swap the index
+        object on a rebuild); re-binding the processors picks up the new
+        index, and tagging cache keys with the new epoch makes every entry
+        written before the update unreachable — stale hits are impossible.
+        """
+        epoch = getattr(self.engine, "epoch", 0)
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._rebind_processors()
+            self.epoch_refreshes += 1
 
     # ------------------------------------------------------------------ #
     # single queries (streaming use)
     # ------------------------------------------------------------------ #
     def answer(self, query: Query) -> QueryResult:
         """Answer one query through the shared caches (the streaming path)."""
-        key = query_cache_key(query, self.pruning)
+        self._refresh_if_stale()
+        key = query_cache_key(query, self.pruning, self._epoch)
         if self.result_cache is not None:
             cached = self.result_cache.get(key)
             if cached is not None:
@@ -311,6 +348,7 @@ class BatchQueryEngine:
         workers = self.config.workers if workers is None else workers
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers}")
+        self._refresh_if_stale()
         statistics = BatchStatistics(total_queries=len(queries), workers=workers)
         started = time.perf_counter()
         results: list = [None] * len(queries)
@@ -318,7 +356,9 @@ class BatchQueryEngine:
         pending: list[tuple[int, Query]] = []
         if self.result_cache is not None:
             for position, query in enumerate(queries):
-                cached = self.result_cache.get(query_cache_key(query, self.pruning))
+                cached = self.result_cache.get(
+                    query_cache_key(query, self.pruning, self._epoch)
+                )
                 if cached is not None:
                     results[position] = cached
                     statistics.result_cache_hits += 1
@@ -354,7 +394,7 @@ class BatchQueryEngine:
             if self.result_cache is None:
                 result = self._execute(query)
             else:
-                key = query_cache_key(query, self.pruning)
+                key = query_cache_key(query, self.pruning, self._epoch)
                 if key in executed_keys:
                     # A duplicate earlier in the batch already filled the
                     # cache (unless a tiny capacity evicted it since).
@@ -385,7 +425,7 @@ class BatchQueryEngine:
         if self.result_cache is not None:
             first_position: dict = {}
             for position, query in pending:
-                key = query_cache_key(query, self.pruning)
+                key = query_cache_key(query, self.pruning, self._epoch)
                 if key in first_position:
                     duplicate_of[position] = first_position[key]
                     statistics.deduplicated += 1
@@ -406,6 +446,7 @@ class BatchQueryEngine:
                     self.engine.index,
                     self.pruning,
                     self.config.propagation_cache_capacity,
+                    self._epoch,
                 )
                 pool = context.Pool(workers, initializer=_worker_init_fork)
             else:
@@ -428,7 +469,9 @@ class BatchQueryEngine:
             statistics.executed += 1
             self._absorb_query_statistics(statistics, result)
             if self.result_cache is not None:
-                self.result_cache.put(query_cache_key(query, self.pruning), result)
+                self.result_cache.put(
+                    query_cache_key(query, self.pruning, self._epoch), result
+                )
         for position, source in duplicate_of.items():
             results[position] = results[source]
 
@@ -452,6 +495,7 @@ class BatchQueryEngine:
                 "score": self.pruning.score,
             },
             "propagation_cache_capacity": self.config.propagation_cache_capacity,
+            "cache_epoch": self._epoch,
         }
 
     # ------------------------------------------------------------------ #

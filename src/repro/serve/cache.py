@@ -11,8 +11,10 @@ Two caches back the batch serving path:
   Dijkstra) is the hot path worth memoising even when the whole result is not
   reusable.
 
-Both are plain LRU caches; the graph and index are assumed immutable while a
-serving engine is live (the library never mutates them during queries).
+Both are plain LRU caches.  Queries never mutate the graph or index, but
+dynamic updates (``engine.apply_updates``) do — every key therefore carries
+the engine's *epoch*, so entries from before an update are unreachable after
+it and age out of the LRU naturally.
 """
 
 from __future__ import annotations
@@ -122,24 +124,32 @@ def maybe_cache(capacity: int) -> Optional[LRUCache]:
 
 
 def query_cache_key(
-    query: Union[TopLQuery, DTopLQuery], pruning: PruningConfig
+    query: Union[TopLQuery, DTopLQuery], pruning: PruningConfig, epoch: int = 0
 ) -> tuple:
     """Build the result-cache key for a query under a pruning configuration.
 
     TopL and DTopL queries sharing the same base parameters must not collide,
-    so the key leads with the query kind.
+    so the key leads with the query kind.  ``epoch`` is the graph epoch of
+    the engine being served (bumped by ``apply_updates``): entries written
+    before an update carry the old epoch and can never hit again, so a
+    dynamic update can never leak a stale cached result.
     """
     if isinstance(query, DTopLQuery):
-        return ("dtopl", query, pruning)
+        return ("dtopl", query, pruning, epoch)
     if isinstance(query, TopLQuery):
-        return ("topl", query, pruning)
+        return ("topl", query, pruning, epoch)
     raise ServingError(
         f"expected a TopLQuery or DTopLQuery, got {type(query).__name__}"
     )
 
 
 def propagation_cache_key(
-    seed_vertices: Iterable[VertexId], threshold: float
+    seed_vertices: Iterable[VertexId], threshold: float, epoch: int = 0
 ) -> tuple:
-    """Build the propagation-cache key for ``calculate_influence(g, theta)``."""
-    return (frozenset(seed_vertices), threshold)
+    """Build the propagation-cache key for ``calculate_influence(g, theta)``.
+
+    Epoch-tagged like :func:`query_cache_key`: ``community_propagation``
+    depends on the whole graph, so scores memoised before a dynamic update
+    must never be served after it.
+    """
+    return (frozenset(seed_vertices), threshold, epoch)

@@ -1,0 +1,59 @@
+"""Hypothesis strategies for dynamic-graph scenarios (graph + edit script)."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.dynamic.truss_maintenance import IncrementalTrussState
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.truss.support import edge_key
+from tests.property.strategies import KEYWORD_POOL, social_networks
+
+__all__ = ["KEYWORD_POOL", "dynamic_scenarios"]
+
+
+@st.composite
+def dynamic_scenarios(draw, max_edits: int = 8):
+    """Generate ``(graph, truss_state, batch)`` with a sequentially-valid script.
+
+    Edits are drawn one at a time against the evolving edge set, mixing
+    insertions (including to brand-new vertices), deletions, and
+    delete-then-reinsert churn.
+    """
+    graph = draw(social_networks(min_vertices=3, max_vertices=12))
+    state = IncrementalTrussState(graph)
+
+    vertices = list(graph.vertices())
+    edges = {edge_key(u, v) for u, v in graph.edges()}
+    next_vertex = max(vertices) + 1
+    num_edits = draw(st.integers(min_value=1, max_value=max_edits))
+
+    updates: list[EdgeUpdate] = []
+    for _ in range(num_edits):
+        deletable = sorted(edges, key=sorted)
+        can_delete = bool(deletable)
+        do_insert = draw(st.booleans()) or not can_delete
+        if do_insert:
+            grow = draw(st.booleans())
+            if grow:
+                u = draw(st.sampled_from(vertices))
+                v = next_vertex
+                next_vertex += 1
+                vertices.append(v)
+            else:
+                u = draw(st.sampled_from(vertices))
+                candidates = [
+                    w for w in vertices if w != u and edge_key(u, w) not in edges
+                ]
+                if not candidates:
+                    continue
+                v = draw(st.sampled_from(candidates))
+            probability = draw(st.floats(min_value=0.05, max_value=0.95))
+            updates.append(EdgeUpdate.insert(u, v, probability))
+            edges.add(edge_key(u, v))
+        else:
+            key = draw(st.sampled_from(deletable))
+            u, v = sorted(key)
+            updates.append(EdgeUpdate.delete(u, v))
+            edges.discard(key)
+    return graph, state, UpdateBatch(updates)

@@ -1,0 +1,145 @@
+"""Tests for ``InfluentialCommunityEngine.apply_updates`` (modes, epoch, report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.exceptions import DynamicUpdateError, QueryParameterError
+from repro.query.params import make_topl_query
+
+_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4)
+
+
+@pytest.fixture
+def bridge_engine(two_cliques_bridge):
+    return InfluentialCommunityEngine.build(
+        two_cliques_bridge, config=_CONFIG, validate=False
+    )
+
+
+class TestApplyUpdates:
+    def test_incremental_mode_and_epoch(self, bridge_engine):
+        report = bridge_engine.apply_updates(
+            [EdgeUpdate.delete(4, 5)], damage_threshold=1.0
+        )
+        assert report.mode == "incremental"
+        assert report.deletions == 1 and report.insertions == 0
+        assert report.epoch == 1 == bridge_engine.epoch
+        assert 0 < report.affected_vertices <= report.total_vertices
+        assert report.elapsed_seconds >= 0.0
+
+    def test_accepts_plain_edit_iterables(self, bridge_engine):
+        report = bridge_engine.apply_updates(
+            (EdgeUpdate.insert(0, 9, 0.4),), damage_threshold=1.0
+        )
+        assert report.insertions == 1
+        assert bridge_engine.graph.has_edge(0, 9)
+
+    def test_noop_batch_keeps_epoch(self, bridge_engine):
+        report = bridge_engine.apply_updates(UpdateBatch())
+        assert report.mode == "noop"
+        assert report.epoch == 0 == bridge_engine.epoch
+
+    def test_invalid_batch_leaves_engine_untouched(self, bridge_engine):
+        edges_before = bridge_engine.graph.num_edges()
+        with pytest.raises(DynamicUpdateError):
+            bridge_engine.apply_updates(
+                [EdgeUpdate.delete(4, 5), EdgeUpdate.delete(4, 5)]
+            )
+        assert bridge_engine.graph.num_edges() == edges_before
+        assert bridge_engine.epoch == 0
+
+    def test_damage_threshold_forces_rebuild(self, bridge_engine):
+        old_index = bridge_engine.index
+        report = bridge_engine.apply_updates(
+            [EdgeUpdate.delete(4, 5)], damage_threshold=0.01
+        )
+        assert report.mode == "rebuild"
+        assert bridge_engine.index is not old_index
+        assert bridge_engine.epoch == 1
+
+    def test_rebuild_flag(self, bridge_engine):
+        report = bridge_engine.apply_updates(
+            [EdgeUpdate.insert(1, 8, 0.3), EdgeUpdate.insert(0, 77, 0.2)],
+            damage_threshold=1.0,
+            rebuild=True,
+        )
+        assert report.mode == "rebuild"
+        assert report.new_vertices == 1
+        assert report.damage_ratio == 1.0
+        assert bridge_engine.graph.has_edge(1, 8)
+        assert bridge_engine.index.num_vertices() == bridge_engine.graph.num_vertices()
+
+    def test_out_of_range_damage_threshold_rejected(self, bridge_engine):
+        from repro.exceptions import QueryParameterError
+
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(QueryParameterError):
+                bridge_engine.apply_updates(
+                    [EdgeUpdate.delete(4, 5)], damage_threshold=bad
+                )
+        assert bridge_engine.graph.has_edge(4, 5)  # nothing applied
+        assert bridge_engine.epoch == 0
+
+    def test_new_vertex_becomes_queryable(self, bridge_engine):
+        before = bridge_engine.index.num_vertices()
+        report = bridge_engine.apply_updates(
+            [
+                EdgeUpdate.insert(0, 100, 0.9, keywords_v={"movies"}),
+                EdgeUpdate.insert(1, 100, 0.9),
+                EdgeUpdate.insert(2, 100, 0.9),
+                EdgeUpdate.insert(3, 100, 0.9),
+            ],
+            damage_threshold=1.0,
+        )
+        assert report.mode == "incremental"
+        assert report.new_vertices == 1
+        assert bridge_engine.index.num_vertices() == before + 1
+        result = bridge_engine.topl(
+            make_topl_query({"movies"}, k=4, radius=1, theta=0.2, top_l=1)
+        )
+        assert len(result) == 1
+        assert 100 in result[0].vertices
+
+    def test_sequential_batches_compose(self, bridge_engine):
+        bridge_engine.apply_updates([EdgeUpdate.delete(4, 5)], damage_threshold=1.0)
+        report = bridge_engine.apply_updates(
+            [EdgeUpdate.insert(4, 5, 0.6)], damage_threshold=1.0
+        )
+        assert report.epoch == 2
+        assert bridge_engine.graph.has_edge(4, 5)
+
+    def test_report_as_dict_round_trips(self, bridge_engine):
+        report = bridge_engine.apply_updates(
+            [EdgeUpdate.delete(4, 5)], damage_threshold=1.0
+        )
+        payload = report.as_dict()
+        assert payload["mode"] == report.mode
+        assert payload["epoch"] == 1
+        assert set(payload) >= {
+            "affected_vertices", "damage_ratio", "damage_threshold",
+            "support_changed_edges", "truss_changed_edges",
+        }
+
+    def test_config_damage_threshold_validation(self):
+        with pytest.raises(QueryParameterError):
+            EngineConfig(damage_threshold=0.0)
+        with pytest.raises(QueryParameterError):
+            EngineConfig(damage_threshold=1.5)
+        assert "damage_threshold" in EngineConfig().describe()
+
+    def test_from_saved_index_supports_updates(self, two_cliques_bridge, tmp_path):
+        engine = InfluentialCommunityEngine.build(
+            two_cliques_bridge, config=_CONFIG, validate=False
+        )
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        loaded = InfluentialCommunityEngine.from_saved_index(
+            two_cliques_bridge.copy(), path
+        )
+        report = loaded.apply_updates([EdgeUpdate.delete(4, 5)], damage_threshold=1.0)
+        assert report.mode == "incremental"
+        assert not loaded.graph.has_edge(4, 5)

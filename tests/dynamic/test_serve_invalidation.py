@@ -1,0 +1,110 @@
+"""Regression: a serving engine must never return stale results across updates.
+
+Before the dynamic subsystem, ``BatchQueryEngine`` had no invalidation path at
+all: a graph mutation left whole results *and* memoised propagation scores in
+the LRU caches, and every later query silently got pre-update answers.  These
+tests pin the fix — epoch-tagged cache keys plus processor re-binding — by
+asserting post-update serving answers always equal a from-scratch engine's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.dynamic.updates import EdgeUpdate
+from repro.query.params import make_topl_query
+from repro.serve.cache import propagation_cache_key, query_cache_key
+from repro.pruning.stats import PruningConfig
+
+_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4)
+
+
+def _fingerprint(result):
+    return tuple((c.vertices, round(c.score, 9)) for c in result)
+
+
+@pytest.fixture
+def engine(two_cliques_bridge):
+    return InfluentialCommunityEngine.build(
+        two_cliques_bridge, config=_CONFIG, validate=False
+    )
+
+
+#: A query whose answer the updates below demonstrably change: the 4-clique
+#: tagged "movies" is the only k=4 candidate.
+QUERY = make_topl_query({"movies"}, k=4, radius=1, theta=0.2, top_l=1)
+
+
+class TestResultCacheInvalidation:
+    def test_answer_after_update_is_fresh(self, engine):
+        serving = engine.serve()
+        stale = serving.answer(QUERY)
+        assert len(stale) == 1  # the movies 4-clique exists pre-update
+
+        # Breaking a clique edge kills the only 4-truss: the cached result is
+        # now wrong, and serving it would be the pre-fix bug.
+        engine.apply_updates([EdgeUpdate.delete(0, 1)], damage_threshold=1.0)
+        fresh = InfluentialCommunityEngine.build(
+            engine.graph.copy(), config=_CONFIG, validate=False
+        )
+        assert _fingerprint(serving.answer(QUERY)) == _fingerprint(fresh.topl(QUERY))
+        assert _fingerprint(serving.answer(QUERY)) != _fingerprint(stale)
+        assert serving.epoch_refreshes == 1
+
+    def test_run_after_update_is_fresh(self, engine):
+        serving = engine.serve()
+        warm = serving.run([QUERY, QUERY])
+        assert warm.statistics.total_queries == 2
+
+        engine.apply_updates([EdgeUpdate.delete(1, 2)], damage_threshold=1.0)
+        batch = serving.run([QUERY])
+        fresh = InfluentialCommunityEngine.build(
+            engine.graph.copy(), config=_CONFIG, validate=False
+        )
+        assert _fingerprint(batch[0]) == _fingerprint(fresh.topl(QUERY))
+        # The pre-update entry must not have been served from cache.
+        assert batch.statistics.result_cache_hits == 0
+        assert batch.statistics.executed == 1
+
+    def test_rebuild_swaps_index_for_serving(self, engine):
+        serving = engine.serve()
+        serving.answer(QUERY)
+        engine.apply_updates([EdgeUpdate.delete(0, 1)], rebuild=True)
+        fresh = InfluentialCommunityEngine.build(
+            engine.graph.copy(), config=_CONFIG, validate=False
+        )
+        assert _fingerprint(serving.answer(QUERY)) == _fingerprint(fresh.topl(QUERY))
+        # The processors must now point at the rebuilt index object.
+        assert serving._topl.index is engine.index
+
+
+class TestPropagationCacheInvalidation:
+    def test_memoised_scores_are_not_reused_across_updates(self, engine):
+        # Result cache off isolates the propagation cache: the same seed
+        # community is re-scored after an update that changes its influence.
+        serving = engine.serve(result_cache_capacity=0)
+        before = serving.answer(QUERY)
+
+        # A high-probability edge out of the movies clique raises its
+        # influential score without touching the clique's structure.
+        engine.apply_updates(
+            [EdgeUpdate.insert(3, 50, 0.95, keywords_v={"travel"})],
+            damage_threshold=1.0,
+        )
+        after = serving.answer(QUERY)
+        fresh = InfluentialCommunityEngine.build(
+            engine.graph.copy(), config=_CONFIG, validate=False
+        )
+        assert _fingerprint(after) == _fingerprint(fresh.topl(QUERY))
+        assert after[0].score > before[0].score
+
+
+class TestEpochTaggedKeys:
+    def test_query_cache_key_distinguishes_epochs(self):
+        pruning = PruningConfig.all_enabled()
+        assert query_cache_key(QUERY, pruning, 0) != query_cache_key(QUERY, pruning, 1)
+
+    def test_propagation_cache_key_distinguishes_epochs(self):
+        assert propagation_cache_key({1, 2}, 0.2, 0) != propagation_cache_key({1, 2}, 0.2, 1)

@@ -101,3 +101,65 @@ class TestIndexRoundTrip:
         payload = json.loads(path.read_text())
         assert payload["fanout"] == index.fanout
         assert payload["precomputed"]["max_radius"] == 1
+
+
+class TestSerializationAfterIncrementalPatch:
+    """Round trip after a dynamic update: serialize -> load -> answers unchanged."""
+
+    def _fingerprint(self, result):
+        return [(c.vertices, round(c.score, 9)) for c in result]
+
+    def test_patched_index_round_trips(self, tmp_path, two_cliques_bridge):
+        from repro.core.config import EngineConfig
+        from repro.core.engine import InfluentialCommunityEngine
+        from repro.dynamic.updates import EdgeUpdate
+        from repro.query.params import make_topl_query
+
+        config = EngineConfig(
+            max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4
+        )
+        engine = InfluentialCommunityEngine.build(
+            two_cliques_bridge, config=config, validate=False
+        )
+        report = engine.apply_updates(
+            [
+                EdgeUpdate.delete(4, 5),
+                EdgeUpdate.insert(0, 42, 0.8, keywords_v={"movies"}),
+            ],
+            damage_threshold=1.0,
+        )
+        assert report.mode == "incremental"
+
+        path = tmp_path / "patched.json"
+        engine.save_index(path)
+        reloaded = InfluentialCommunityEngine.from_saved_index(engine.graph, path)
+
+        queries = [
+            make_topl_query({"movies"}, k=3, radius=1, theta=0.2, top_l=3),
+            make_topl_query({"books"}, k=4, radius=2, theta=0.1, top_l=2),
+            make_topl_query({"movies", "travel"}, k=3, radius=2, theta=0.3, top_l=3),
+        ]
+        for query in queries:
+            assert self._fingerprint(reloaded.topl(query)) == self._fingerprint(
+                engine.topl(query)
+            )
+
+    def test_patched_supports_survive_round_trip(self, tmp_path, two_cliques_bridge):
+        from repro.core.config import EngineConfig
+        from repro.core.engine import InfluentialCommunityEngine
+        from repro.dynamic.updates import EdgeUpdate
+        from repro.truss.support import edge_support
+
+        config = EngineConfig(max_radius=2, thresholds=(0.1, 0.3))
+        engine = InfluentialCommunityEngine.build(
+            two_cliques_bridge, config=config, validate=False
+        )
+        engine.apply_updates([EdgeUpdate.delete(0, 1)], damage_threshold=1.0)
+
+        path = tmp_path / "patched.json"
+        engine.save_index(path)
+        reloaded = InfluentialCommunityEngine.from_saved_index(engine.graph, path)
+        assert (
+            reloaded.index.precomputed.global_edge_support
+            == edge_support(engine.graph)
+        )

@@ -1,0 +1,111 @@
+"""CLI tests for the `repro update` subcommand (edit-script replay)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.graph.generators import planted_community_graph
+from repro.graph.io import load_graph_json, save_graph_json
+from repro.graph.keyword_assignment import assign_keywords
+
+
+@pytest.fixture(scope="module")
+def graph_path(tmp_path_factory):
+    graph = planted_community_graph(
+        [10, 10, 10], intra_probability=0.6, inter_probability=0.02, rng=5
+    )
+    assign_keywords(graph, keywords_per_vertex=2, domain_size=12, rng=5)
+    path = tmp_path_factory.mktemp("update-cli") / "graph.json"
+    save_graph_json(graph, path)
+    return str(path)
+
+
+def test_update_replays_saved_script(graph_path, tmp_path, capsys):
+    script_path = tmp_path / "edits.json"
+    UpdateBatch(
+        [EdgeUpdate.insert(0, 29, 0.4), EdgeUpdate.delete(0, 29)]
+    ).save(script_path)
+    exit_code = main(["update", graph_path, "--script", str(script_path)])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "dynamic update replay" in captured
+    assert "epoch 1" in captured
+
+
+def test_update_random_script_with_outputs(graph_path, tmp_path, capsys):
+    out_script = tmp_path / "script.json"
+    out_graph = tmp_path / "mutated.json"
+    out_index = tmp_path / "index.json"
+    exit_code = main(
+        [
+            "update", graph_path,
+            "--random", "6", "--seed", "3",
+            "--batch-size", "3",
+            "--damage-threshold", "1.0",
+            "--out-script", str(out_script),
+            "--out-graph", str(out_graph),
+            "--out-index", str(out_index),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "epoch 2" in captured  # 6 edits in chunks of 3
+
+    # The written script replays cleanly against the original graph.
+    script = UpdateBatch.load(out_script)
+    assert len(script) == 6
+    script.validate_against(load_graph_json(graph_path))
+
+    # The mutated graph + refreshed index reload into a working engine.
+    from repro.core.engine import InfluentialCommunityEngine
+
+    mutated = load_graph_json(str(out_graph))
+    engine = InfluentialCommunityEngine.from_saved_index(mutated, out_index)
+    assert engine.index.num_vertices() == mutated.num_vertices()
+
+
+def test_update_random_focus_restricts_churn(graph_path, capsys):
+    exit_code = main(
+        [
+            "update", graph_path,
+            "--random", "5", "--seed", "2",
+            "--focus", "0", "--focus-radius", "1",
+            "--damage-threshold", "1.0",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "incremental" in captured
+
+
+def test_update_unknown_focus_vertex_fails_cleanly(graph_path, capsys):
+    exit_code = main(["update", graph_path, "--random", "5", "--focus", "no-such-vertex"])
+    assert exit_code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_update_empty_script_is_a_clean_noop(graph_path, tmp_path, capsys):
+    script_path = tmp_path / "empty.json"
+    UpdateBatch([]).save(script_path)
+    exit_code = main(["update", graph_path, "--script", str(script_path)])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "epoch 0" in captured
+
+
+def test_update_requires_script_or_random(graph_path, capsys):
+    exit_code = main(["update", graph_path])
+    assert exit_code == 2
+    assert "exactly one of --script or --random" in capsys.readouterr().err
+
+
+def test_update_rejects_bad_script(graph_path, tmp_path, capsys):
+    script_path = tmp_path / "bad.json"
+    script_path.write_text(json.dumps({"edits": [{"op": "delete", "u": 0, "v": 29}]}))
+    exit_code = main(["update", graph_path, "--script", str(script_path)])
+    assert exit_code == 2
+    assert "does not exist" in capsys.readouterr().err
