@@ -174,6 +174,51 @@ def test_scattered_batch_falls_back_to_rebuild(dynamic_fixture):
     assert report.damage_ratio > 0.2
 
 
+def measure_rebuild_backends(graph) -> dict:
+    """Full offline rebuild on each graph-core backend, equivalence-checked.
+
+    The rebuild path is where the damage-threshold fallback lands, so a
+    faster backend directly shrinks the worst case of ``apply_updates``.
+    The incremental patch path itself stays on the reference structures
+    (incremental CSR maintenance has not landed).
+    """
+    from repro.index.precompute import precompute
+
+    try:  # pytest imports benches as a package; standalone runs do not.
+        from benchmarks.bench_index_build import assert_precomputed_equal
+    except ImportError:  # pragma: no cover - standalone `python benchmarks/...`
+        from bench_index_build import assert_precomputed_equal
+
+    measurements = {}
+    records = {}
+    for backend in ("reference", "fast"):
+        started = time.perf_counter()
+        records[backend] = precompute(
+            graph,
+            max_radius=_DYNAMIC_CONFIG.max_radius,
+            thresholds=_DYNAMIC_CONFIG.thresholds,
+            num_bits=_DYNAMIC_CONFIG.num_bits,
+            backend=backend,
+        )
+        measurements[backend + "_rebuild_seconds"] = round(
+            time.perf_counter() - started, 4
+        )
+    assert_precomputed_equal(records["fast"], records["reference"])
+    reference_seconds = measurements["reference_rebuild_seconds"]
+    fast_seconds = measurements["fast_rebuild_seconds"]
+    if fast_seconds > 0:
+        measurements["speedup"] = round(reference_seconds / fast_seconds, 3)
+    return measurements
+
+
+def test_rebuild_backends_equivalent(dynamic_fixture):
+    """Fast-backend rebuilds must be bit-identical to reference rebuilds."""
+    graph, _ = dynamic_fixture
+    measurements = measure_rebuild_backends(graph)
+    assert "reference_rebuild_seconds" in measurements
+    assert "fast_rebuild_seconds" in measurements
+
+
 # --------------------------------------------------------------------------- #
 # standalone baseline recorder
 # --------------------------------------------------------------------------- #
@@ -226,6 +271,14 @@ def main(argv=None) -> int:
     print(
         f"scattered batch: mode={scattered.mode} "
         f"(damage {scattered.damage_ratio:.2f} vs threshold {scattered.damage_threshold})"
+    )
+
+    backends = measure_rebuild_backends(graph)
+    report["measurements"]["rebuild_backends"] = backends
+    print(
+        "rebuild backends (bit-identical records): reference "
+        f"{backends['reference_rebuild_seconds']}s vs fast "
+        f"{backends['fast_rebuild_seconds']}s -> {backends.get('speedup', '?')}x"
     )
 
     if args.out:

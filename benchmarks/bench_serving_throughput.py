@@ -54,6 +54,49 @@ def build_serving_fixture(num_vertices: int, batch_size: int):
     return graph, engine, queries
 
 
+def build_backend_engine(graph, backend: str):
+    """Build the serving engine on a specific graph-core backend."""
+    config = EngineConfig(
+        max_radius=_SERVING_CONFIG.max_radius,
+        thresholds=_SERVING_CONFIG.thresholds,
+        backend=backend,
+    )
+    return InfluentialCommunityEngine.build(graph, config=config, validate=False)
+
+
+def measure_backends(graph, queries) -> dict:
+    """Sequential cache-off serving on each graph-core backend.
+
+    Records offline build seconds and batch queries/sec per backend, and
+    asserts the answers are identical — the backend switch is a pure
+    performance knob, never a semantics knob.
+    """
+    measurements = {}
+    fingerprints = {}
+    for backend in ("reference", "fast"):
+        started = time.perf_counter()
+        engine = build_backend_engine(graph, backend)
+        build_seconds = time.perf_counter() - started
+        serving = engine.serve(result_cache_capacity=0, propagation_cache_capacity=0)
+        batch = serving.run(queries)
+        measurements[backend] = {
+            "offline_build_seconds": round(build_seconds, 4),
+            "queries_per_second": round(batch.statistics.queries_per_second, 4),
+            "elapsed_seconds": round(batch.statistics.elapsed_seconds, 4),
+        }
+        fingerprints[backend] = [
+            [(c.vertices, c.score) for c in result] for result in batch
+        ]
+    assert fingerprints["fast"] == fingerprints["reference"], (
+        "fast backend served different answers than reference"
+    )
+    reference_build = measurements["reference"]["offline_build_seconds"]
+    fast_build = measurements["fast"]["offline_build_seconds"]
+    if fast_build > 0:
+        measurements["offline_build_speedup"] = round(reference_build / fast_build, 3)
+    return measurements
+
+
 def _measure(engine, queries, workers: int, cache: bool) -> dict:
     capacity = None if cache else 0
     serving = engine.serve(
@@ -166,6 +209,13 @@ def test_parallel_speedup_on_multicore(serving_fixture):
     )
 
 
+def test_backend_serving_identical_answers(serving_fixture):
+    """Both graph-core backends must serve identical batches (CI smoke)."""
+    graph, _, queries = serving_fixture
+    measurements = measure_backends(graph, queries[: min(len(queries), 8)])
+    assert set(measurements) >= {"reference", "fast"}
+
+
 def test_parallel_results_identical_to_sequential(serving_fixture):
     """The correctness gate behind the throughput numbers (CI smoke)."""
     _, engine, queries = serving_fixture
@@ -210,6 +260,17 @@ def main(argv=None) -> int:
     print(
         f"workers=1 cache=on: cold {cached['rounds'][0]['queries_per_second']:.2f} "
         f"-> warm {cached['rounds'][1]['queries_per_second']:.2f} queries/sec"
+    )
+
+    backends = measure_backends(graph, queries)
+    report["backends"] = backends
+    print(
+        "backend comparison (sequential, cache off): "
+        f"reference {backends['reference']['queries_per_second']:.2f} q/s "
+        f"(build {backends['reference']['offline_build_seconds']:.2f}s) vs "
+        f"fast {backends['fast']['queries_per_second']:.2f} q/s "
+        f"(build {backends['fast']['offline_build_seconds']:.2f}s, "
+        f"{backends.get('offline_build_speedup', '?')}x build speedup)"
     )
 
     baseline = report["measurements"][0]["rounds"][0]["queries_per_second"]

@@ -33,6 +33,7 @@ from repro.exceptions import (
     ServingError,
     VertexNotFoundError,
 )
+from repro.fastgraph import CSRGraph, VertexTable
 from repro.graph.social_network import SocialNetwork
 from repro.graph.subgraph import SubgraphView
 from repro.index.tree import TreeIndex, build_tree_index
@@ -63,6 +64,8 @@ __all__ = [
     "SerializationError",
     "ServingError",
     "VertexNotFoundError",
+    "CSRGraph",
+    "VertexTable",
     "SocialNetwork",
     "SubgraphView",
     "TreeIndex",

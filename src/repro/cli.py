@@ -24,6 +24,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.core.config import EngineConfig
@@ -71,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_index.add_argument("--fanout", type=int, default=8)
     build_index.add_argument("--leaf-capacity", type=int, default=16)
+    _add_backend_argument(build_index)
 
     topl = subparsers.add_parser("topl", help="answer a TopL-ICDE query")
     _add_query_arguments(topl)
@@ -105,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("graph")
     update.add_argument("--index", default=None, help="optional pre-built index JSON")
     update.add_argument(
-        "--script", default=None, help="edit-script JSON (see README 'Dynamic graphs')"
+        "--script", default=None, help="edit-script JSON (format: docs/dynamic.md)"
     )
     update.add_argument(
         "--random",
@@ -145,8 +147,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=["reference", "fast"],
+        help="graph core: dict-based reference or array-backed fast "
+        "(identical answers; see docs/backends.md)",
+    )
+
+
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("graph")
+    _add_backend_argument(parser)
     parser.add_argument("--index", default=None, help="optional pre-built index JSON")
     parser.add_argument(
         "--keywords",
@@ -238,6 +251,7 @@ def _command_build_index(args: argparse.Namespace) -> int:
         thresholds=thresholds,
         fanout=args.fanout,
         leaf_capacity=args.leaf_capacity,
+        backend=getattr(args, "backend", "reference"),
     )
     started = time.perf_counter()
     engine = InfluentialCommunityEngine.build(graph, config=config)
@@ -250,10 +264,18 @@ def _command_build_index(args: argparse.Namespace) -> int:
 
 def _load_engine(args: argparse.Namespace) -> InfluentialCommunityEngine:
     graph = load_graph_json(args.graph)
+    backend = getattr(args, "backend", "reference")
     if args.index:
-        return InfluentialCommunityEngine.from_saved_index(graph, args.index)
-    config = EngineConfig(max_radius=max(args.radius, 1)) if hasattr(args, "radius") else None
-    return InfluentialCommunityEngine.build(graph, config=config)
+        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
+        if backend != engine.config.backend:
+            # A saved index carries no backend (the data is backend-agnostic);
+            # honour the flag for the online phase.
+            engine.config = replace(engine.config, backend=backend)
+        return engine
+    config_kwargs = {"backend": backend}
+    if hasattr(args, "radius"):
+        config_kwargs["max_radius"] = max(args.radius, 1)
+    return InfluentialCommunityEngine.build(graph, config=EngineConfig(**config_kwargs))
 
 
 def _query_keywords(args: argparse.Namespace, engine: InfluentialCommunityEngine) -> frozenset:

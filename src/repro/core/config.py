@@ -38,6 +38,13 @@ class EngineConfig:
         pre-computed records an edit batch invalidates exceeds this,
         ``apply_updates`` falls back to a full rebuild instead of patching
         (1.0 never rebuilds; small values rebuild eagerly).
+    backend:
+        ``"reference"`` (default) runs every computation on the dict-based
+        :class:`~repro.graph.social_network.SocialNetwork`; ``"fast"``
+        routes the offline build and online scoring through the array-backed
+        :mod:`repro.fastgraph` core (``graph.freeze()`` snapshots).  The two
+        backends produce bit-identical indexes and answers — the choice is
+        purely a performance trade; see ``docs/backends.md``.
     """
 
     max_radius: int = DEFAULT_MAX_RADIUS
@@ -46,6 +53,7 @@ class EngineConfig:
     fanout: int = DEFAULT_FANOUT
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY
     damage_threshold: float = DEFAULT_DAMAGE_THRESHOLD
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.max_radius < 1:
@@ -69,6 +77,10 @@ class EngineConfig:
             raise QueryParameterError(
                 f"damage_threshold must be in (0, 1], got {self.damage_threshold}"
             )
+        if self.backend not in ("reference", "fast"):
+            raise QueryParameterError(
+                f"backend must be 'reference' or 'fast', got {self.backend!r}"
+            )
 
     @classmethod
     def paper_defaults(cls) -> "EngineConfig":
@@ -84,4 +96,5 @@ class EngineConfig:
             "fanout": self.fanout,
             "leaf_capacity": self.leaf_capacity,
             "damage_threshold": self.damage_threshold,
+            "backend": self.backend,
         }

@@ -61,6 +61,15 @@ class InfluentialCommunityEngine:
         #: their cache keys with it so pre-update entries can never hit.
         self.epoch = 0
         self._truss_state: Optional[IncrementalTrussState] = None
+        #: Lazily-built CSR snapshot for the ``fast`` backend, shared by all
+        #: processors this engine creates; dropped whenever the graph
+        #: mutates (dynamic updates re-freeze on next use).  The workspace
+        #: (scratch arrays over the snapshot) is shared the same way so
+        #: per-call processors do not rebuild it per query; it is
+        #: single-threaded, which is safe because the engine's own query
+        #: methods are sequential (parallel serving workers build their own).
+        self._frozen = None
+        self._fast_workspace = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -87,11 +96,14 @@ class InfluentialCommunityEngine:
         config = config or EngineConfig()
         if validate:
             validate_graph(graph, strict=True)
+        frozen = graph.freeze() if config.backend == "fast" else None
         precomputed = precompute(
             graph,
             max_radius=config.max_radius,
             thresholds=config.thresholds,
             num_bits=config.num_bits,
+            backend=config.backend,
+            frozen=frozen,
         )
         index = build_tree_index(
             graph,
@@ -99,7 +111,11 @@ class InfluentialCommunityEngine:
             fanout=config.fanout,
             leaf_capacity=config.leaf_capacity,
         )
-        return cls(graph=graph, index=index, config=config)
+        engine = cls(graph=graph, index=index, config=config)
+        # Reuse the offline phase's snapshot for online queries; one freeze
+        # per epoch, not one per phase.
+        engine._frozen = frozen
+        return engine
 
     @classmethod
     def from_saved_index(
@@ -136,7 +152,14 @@ class InfluentialCommunityEngine:
         ``pruning=None`` applies the full pruning stack; the configuration is
         constructed per call so no state is shared between unrelated queries.
         """
-        processor = TopLProcessor(self.graph, index=self.index, pruning=pruning)
+        processor = TopLProcessor(
+            self.graph,
+            index=self.index,
+            pruning=pruning,
+            backend=self.config.backend,
+            frozen=self.frozen_graph(),
+            workspace=self._workspace(),
+        )
         return processor.query(query)
 
     def dtopl(
@@ -145,8 +168,38 @@ class InfluentialCommunityEngine:
         pruning: Optional[PruningConfig] = None,
     ) -> DTopLResult:
         """Answer a DTopL-ICDE query (Definition 5, Algorithm 4)."""
-        processor = DTopLProcessor(self.graph, index=self.index, pruning=pruning)
+        processor = DTopLProcessor(
+            self.graph,
+            index=self.index,
+            pruning=pruning,
+            backend=self.config.backend,
+            frozen=self.frozen_graph(),
+            workspace=self._workspace(),
+        )
         return processor.query(query)
+
+    def frozen_graph(self):
+        """The engine's CSR snapshot when the ``fast`` backend is active.
+
+        Returns ``None`` on the reference backend.  The snapshot is built
+        lazily, reused by every processor, and invalidated whenever
+        :meth:`apply_updates` mutates the graph.
+        """
+        if self.config.backend != "fast":
+            return None
+        if self._frozen is None:
+            self._frozen = self.graph.freeze()
+        return self._frozen
+
+    def _workspace(self):
+        """Shared kernel scratch space over :meth:`frozen_graph` (fast only)."""
+        if self.config.backend != "fast":
+            return None
+        if self._fast_workspace is None:
+            from repro.fastgraph.kernels import CSRWorkspace
+
+            self._fast_workspace = CSRWorkspace(self.frozen_graph())
+        return self._fast_workspace
 
     # ------------------------------------------------------------------ #
     # dynamic updates
@@ -215,6 +268,7 @@ class InfluentialCommunityEngine:
             batch.validate_against(self.graph)
             new_vertices = batch.apply_to(self.graph)
             self._truss_state = None
+            self._invalidate_snapshot()
             self._rebuild_offline()
             self.epoch += 1
             total = self.graph.num_vertices()
@@ -245,6 +299,9 @@ class InfluentialCommunityEngine:
         # state.apply validates the whole script before mutating anything, so
         # an invalid batch raises here and leaves the engine untouched.
         delta = state.apply(batch)
+        # The graph just mutated: any CSR snapshot is stale from here on
+        # (the damage-fallback rebuild below must not precompute over it).
+        self._invalidate_snapshot()
 
         affected = affected_centers(
             self.graph,
@@ -289,6 +346,10 @@ class InfluentialCommunityEngine:
             elapsed_seconds=time.perf_counter() - started,
         )
 
+    def _invalidate_snapshot(self) -> None:
+        self._frozen = None
+        self._fast_workspace = None
+
     def _rebuild_offline(self) -> None:
         """Re-run the offline phase over the current graph (in place)."""
         precomputed = precompute(
@@ -296,6 +357,8 @@ class InfluentialCommunityEngine:
             max_radius=self.config.max_radius,
             thresholds=self.config.thresholds,
             num_bits=self.config.num_bits,
+            backend=self.config.backend,
+            frozen=self.frozen_graph(),
         )
         self.index = build_tree_index(
             self.graph,

@@ -1,0 +1,54 @@
+"""Array-backed fast graph core (the ``fast`` backend).
+
+The reference :class:`~repro.graph.social_network.SocialNetwork` stores its
+adjacency as a dict-of-dicts keyed by arbitrary hashable vertex ids.  That is
+the right representation for construction and mutation, but every hot path of
+the offline phase — triangle counting, truss peeling, hop-ball BFS, MIA
+max-product propagation — pays for it with per-step hashing of vertex ids,
+tuple/frozenset key allocation, and pointer-chasing dict iteration.
+
+This package provides a compact, immutable mirror of a social network:
+
+* :class:`~repro.fastgraph.vertex_table.VertexTable` interns arbitrary
+  hashable vertex ids into dense integers ``0..n-1``;
+* :class:`~repro.fastgraph.csr.CSRGraph` stores the adjacency in CSR form
+  (``indptr``/``indices``) with parallel per-direction probability arrays and
+  per-arc undirected edge ids, using :mod:`array` from the stdlib (an
+  optional numpy bridge is auto-detected at import — see
+  :data:`~repro.fastgraph.csr.NUMPY_AVAILABLE`);
+* :mod:`~repro.fastgraph.kernels` implements the scan-heavy computations
+  over dense ints: stamp-based triangle/support counting, bucket-peel truss
+  decomposition, BFS hop balls, and binary-heap max-product Dijkstra;
+* :mod:`~repro.fastgraph.offline` re-implements the offline pre-computation
+  (Algorithm 2) on top of those kernels, producing a
+  :class:`~repro.index.precompute.PrecomputedData` that is **bit-for-bit
+  identical** to the reference backend's (the cross-backend equivalence
+  suite in ``tests/fastgraph`` enforces this).
+
+Entry points: ``SocialNetwork.freeze()`` returns the :class:`CSRGraph`
+mirror, and ``EngineConfig(backend="fast")`` routes the engine's offline
+build and online scoring through it.  See ``docs/backends.md`` for when each
+backend applies and how the dynamic layer interacts with freezing.
+"""
+
+from repro.fastgraph.csr import NUMPY_AVAILABLE, CSRGraph, freeze
+from repro.fastgraph.kernels import (
+    bfs_hop_ball,
+    community_propagation_csr,
+    edge_supports_csr,
+    truss_decomposition_csr,
+)
+from repro.fastgraph.offline import fast_precompute
+from repro.fastgraph.vertex_table import VertexTable
+
+__all__ = [
+    "CSRGraph",
+    "NUMPY_AVAILABLE",
+    "VertexTable",
+    "bfs_hop_ball",
+    "community_propagation_csr",
+    "edge_supports_csr",
+    "fast_precompute",
+    "freeze",
+    "truss_decomposition_csr",
+]

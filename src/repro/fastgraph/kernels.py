@@ -1,0 +1,445 @@
+"""Array-based graph kernels over dense ints.
+
+Each kernel mirrors a reference implementation exactly — same floats, same
+ints — but runs over the CSR buffers of a
+:class:`~repro.fastgraph.csr.CSRGraph` instead of dict-of-dicts adjacency:
+
+* :func:`edge_supports_csr` — stamp-based triangle counting
+  (vs :func:`repro.truss.support.edge_support`);
+* :func:`truss_decomposition_csr` — bucket peel over int edge ids
+  (vs :func:`repro.truss.decomposition.truss_decomposition`);
+* :class:`CSRWorkspace` ``.bfs_ball`` — hop balls with stamp reset
+  (vs :func:`repro.graph.traversal.bfs_distances`);
+* :class:`CSRWorkspace` ``.propagate`` / :func:`community_propagation_csr` —
+  truncated multi-source max-product Dijkstra
+  (vs :func:`repro.influence.propagation.community_propagation`).
+
+Why the float outputs are bit-identical, not merely close: max-product
+Dijkstra relaxes with the same operation (``settled(parent) * p(edge)``) in
+both backends, so the candidate value set per vertex is identical and its
+maximum is too, regardless of tie-breaking.  Sums over propagation results
+(score bounds, influential scores) iterate in pop order, which Dijkstra
+guarantees is non-increasing in probability — a descending ordering of a
+multiset is unique, so the floating-point sum is reproduced exactly.  The
+cross-backend property suite (``tests/fastgraph``) enforces all of this.
+
+Scratch buffers live in a :class:`CSRWorkspace` and are reset in
+``O(touched)`` after each call, so per-centre kernels cost proportional to
+the region they visit, not to ``|V|``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Optional
+
+from repro.exceptions import GraphError
+from repro.fastgraph.csr import CSRGraph
+from repro.influence.propagation import InfluencedCommunity
+from repro.truss.decomposition import TrussDecomposition
+
+
+# --------------------------------------------------------------------------- #
+# triangle / support counting
+# --------------------------------------------------------------------------- #
+def edge_supports_csr(csr: CSRGraph) -> array:
+    """Return ``sup(e)`` for every undirected edge id of ``csr``.
+
+    Stamp-based counting: for each vertex ``u`` (ascending), mark ``N(u)``
+    in a stamp array, then for each neighbour ``v > u`` count the marked
+    members of ``N(v)``.  Each edge is counted exactly once, with no set or
+    tuple allocation in the inner loop.
+    """
+    n = csr.num_vertices
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    arc_edge = csr.arc_edge.tolist()
+    supports = [0] * csr.num_edges
+    marker = [-1] * n
+    for u in range(n):
+        start, end = indptr[u], indptr[u + 1]
+        for a in range(start, end):
+            marker[indices[a]] = u
+        for a in range(start, end):
+            v = indices[a]
+            if v <= u:
+                continue
+            count = 0
+            for b in range(indptr[v], indptr[v + 1]):
+                if marker[indices[b]] == u:
+                    count += 1
+            supports[arc_edge[a]] = count
+    return array("q", supports)
+
+
+def supports_as_dict(csr: CSRGraph, supports: Iterable[int]) -> dict:
+    """Convert a per-edge-id support sequence to the reference dict form.
+
+    The result is keyed by ``frozenset((u, v))`` over original vertex ids,
+    matching :func:`repro.truss.support.edge_support` exactly.
+    """
+    id_of = csr.table.id_of
+    edge_u = csr.edge_u
+    edge_v = csr.edge_v
+    return {
+        frozenset((id_of(edge_u[e]), id_of(edge_v[e]))): value
+        for e, value in enumerate(supports)
+    }
+
+
+# --------------------------------------------------------------------------- #
+# truss decomposition
+# --------------------------------------------------------------------------- #
+def truss_peel(csr: CSRGraph, supports: Optional[Iterable[int]] = None):
+    """Peel ``csr`` bottom-up; return per-edge and per-vertex trussness lists.
+
+    The peel is the same algorithm as the reference decomposition — lowest
+    remaining support first, trussness ``s + 2`` clamped monotonically — but
+    runs over int edge ids with list buckets and lazy stale entries instead
+    of frozenset-keyed dicts of sets.
+    """
+    n = csr.num_vertices
+    m = csr.num_edges
+    if supports is None:
+        supports = edge_supports_csr(csr)
+    current = list(supports)
+    edge_u = csr.edge_u.tolist()
+    edge_v = csr.edge_v.tolist()
+
+    # Neighbour -> edge-id maps; shrink as edges peel off.
+    adjacency: list[dict[int, int]] = [{} for _ in range(n)]
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    arc_edge = csr.arc_edge.tolist()
+    for u in range(n):
+        row = adjacency[u]
+        for a in range(indptr[u], indptr[u + 1]):
+            row[indices[a]] = arc_edge[a]
+
+    max_support = max(current, default=0)
+    buckets: list[list[int]] = [[] for _ in range(max_support + 1)]
+    for e in range(m):
+        buckets[current[e]].append(e)
+
+    edge_truss = [0] * m
+    removed = bytearray(m)
+    pointer = 0
+    k_floor = 2
+    remaining = m
+    while remaining:
+        while pointer <= max_support and not buckets[pointer]:
+            pointer += 1
+        if pointer > max_support:
+            break
+        e = buckets[pointer].pop()
+        if removed[e] or current[e] != pointer:
+            continue  # stale bucket entry; the live one sits in a lower bucket
+        support = pointer
+        if support + 2 > k_floor:
+            k_floor = support + 2
+        edge_truss[e] = k_floor
+        removed[e] = 1
+        remaining -= 1
+
+        u, v = edge_u[e], edge_v[e]
+        row_u, row_v = adjacency[u], adjacency[v]
+        del row_u[v]
+        del row_v[u]
+        small, big = (row_u, row_v) if len(row_u) <= len(row_v) else (row_v, row_u)
+        for w, e1 in small.items():
+            e2 = big.get(w)
+            if e2 is None:
+                continue
+            for other in (e1, e2):
+                if removed[other]:
+                    continue
+                old = current[other]
+                if old > support:
+                    current[other] = old - 1
+                    buckets[old - 1].append(other)
+
+    vertex_truss = [2] * n
+    for e in range(m):
+        trussness = edge_truss[e]
+        u, v = edge_u[e], edge_v[e]
+        if trussness > vertex_truss[u]:
+            vertex_truss[u] = trussness
+        if trussness > vertex_truss[v]:
+            vertex_truss[v] = trussness
+    return edge_truss, vertex_truss
+
+
+def truss_decomposition_csr(
+    csr: CSRGraph, supports: Optional[Iterable[int]] = None
+) -> TrussDecomposition:
+    """Full truss decomposition of ``csr`` in the reference result type.
+
+    Values are identical to
+    :func:`repro.truss.decomposition.truss_decomposition` on the thawed
+    graph (trussness is a graph invariant, independent of peel tie-breaks).
+    """
+    edge_truss, vertex_truss = truss_peel(csr, supports)
+    id_of = csr.table.id_of
+    edge_u, edge_v = csr.edge_u, csr.edge_v
+    edge_trussness = {
+        frozenset((id_of(edge_u[e]), id_of(edge_v[e]))): edge_truss[e]
+        for e in range(csr.num_edges)
+    }
+    vertex_trussness = {id_of(v): vertex_truss[v] for v in range(csr.num_vertices)}
+    return TrussDecomposition(
+        edge_trussness=edge_trussness, vertex_trussness=vertex_trussness
+    )
+
+
+# --------------------------------------------------------------------------- #
+# per-centre workspace: BFS balls and max-product propagation
+# --------------------------------------------------------------------------- #
+class CSRWorkspace:
+    """Reusable scratch state for the per-centre kernels.
+
+    One workspace amortises the ``array -> list`` conversion of the CSR
+    buffers and owns the stamp arrays (hop distances, best probabilities,
+    settled flags), which are cleaned up after each call in time
+    proportional to the vertices touched.  A workspace is single-threaded;
+    create one per worker.
+    """
+
+    __slots__ = (
+        "csr", "n", "indptr", "indices", "prob_out", "arc_edge",
+        "neighbor_ints", "ranked_arcs",
+        "dist", "order", "_best", "_popped",
+    )
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        self.n = csr.num_vertices
+        self.indptr = csr.indptr.tolist()
+        self.indices = csr.indices.tolist()
+        self.prob_out = csr.prob_out.tolist()
+        self.arc_edge = csr.arc_edge.tolist()
+        #: Per-vertex neighbour tuples in CSR order (BFS, shell scans).
+        self.neighbor_ints: list[tuple] = []
+        #: Per-vertex ``(p_out, neighbour)`` tuples sorted by descending
+        #: probability, so a relaxation sweep can stop at the first product
+        #: below the threshold (everything after is smaller still).  Arcs
+        #: with ``p == 0`` can never contribute and are dropped outright,
+        #: exactly as the reference skips them.
+        self.ranked_arcs: list[tuple] = []
+        indptr, indices, prob_out = self.indptr, self.indices, self.prob_out
+        for u in range(self.n):
+            start, end = indptr[u], indptr[u + 1]
+            self.neighbor_ints.append(tuple(indices[start:end]))
+            ranked = sorted(
+                (
+                    (prob_out[a], indices[a])
+                    for a in range(start, end)
+                    if prob_out[a] > 0.0
+                ),
+                reverse=True,
+            )
+            self.ranked_arcs.append(tuple(ranked))
+        #: Hop distances of the most recent :meth:`bfs_ball` (-1 = unreached).
+        self.dist = [-1] * self.n
+        #: Visit order of the most recent :meth:`bfs_ball`.
+        self.order: list[int] = []
+        self._best = [0.0] * self.n
+        self._popped = bytearray(self.n)
+
+    def bfs_ball(self, source: int, max_depth: int) -> list[int]:
+        """BFS from ``source`` to ``max_depth`` hops.
+
+        Returns the visit order (non-decreasing hop distance); distances are
+        readable from :attr:`dist` until the next call, which resets only
+        the entries the previous call touched.
+        """
+        dist = self.dist
+        for vertex in self.order:
+            dist[vertex] = -1
+        neighbor_ints = self.neighbor_ints
+        order = [source]
+        dist[source] = 0
+        head = 0
+        while head < len(order):
+            vertex = order[head]
+            head += 1
+            depth = dist[vertex]
+            if depth >= max_depth:
+                continue
+            next_depth = depth + 1
+            for neighbour in neighbor_ints[vertex]:
+                if dist[neighbour] < 0:
+                    dist[neighbour] = next_depth
+                    order.append(neighbour)
+        self.order = order
+        return order
+
+    def propagate(self, seeds, threshold: float) -> list:
+        """Truncated multi-source max-product Dijkstra from ``seeds``.
+
+        Returns ``(vertex, probability)`` pairs in pop order (probability
+        non-increasing), the same value sequence — up to reordering of equal
+        probabilities, which no consumer can observe — as the reference
+        :func:`~repro.influence.propagation.community_propagation`.
+
+        Three exact work reducers over the reference loop:
+
+        * seeds settle up front at probability 1 (nothing can beat 1), so
+          they never enter the heap;
+        * relaxations sweep :attr:`ranked_arcs` and *stop* at the first
+          product below the threshold — the arcs are probability-sorted, so
+          every later product is below it too;
+        * pushes dominated by an already-pushed better probability are
+          skipped (``best`` tracks the max pushed per vertex).
+
+        None of this changes any settled value: the settled probability of a
+        vertex is the maximum over stepwise path products from the seeds,
+        and each reducer only drops candidates that are provably not the
+        maximum (or reorders the sweep within one vertex).
+        """
+        best = self._best
+        popped = self._popped
+        ranked_arcs = self.ranked_arcs
+        seeds = list(seeds)
+        touched = list(seeds)
+        result = []
+        for seed in seeds:
+            best[seed] = 1.0
+            popped[seed] = 1
+            result.append((seed, 1.0))
+        heap = []
+        for seed in seeds:
+            for edge_probability, neighbour in ranked_arcs[seed]:
+                if edge_probability < threshold:
+                    break
+                if popped[neighbour] or edge_probability <= best[neighbour]:
+                    continue
+                if best[neighbour] == 0.0:
+                    touched.append(neighbour)
+                best[neighbour] = edge_probability
+                heap.append((-edge_probability, neighbour))
+        heapify(heap)
+        while heap:
+            negative_probability, vertex = heappop(heap)
+            if popped[vertex]:
+                continue
+            popped[vertex] = 1
+            probability = -negative_probability
+            result.append((vertex, probability))
+            for edge_probability, neighbour in ranked_arcs[vertex]:
+                next_probability = probability * edge_probability
+                if next_probability < threshold:
+                    break
+                if popped[neighbour] or next_probability <= best[neighbour]:
+                    continue
+                if best[neighbour] == 0.0:
+                    touched.append(neighbour)
+                best[neighbour] = next_probability
+                heappush(heap, (-next_probability, neighbour))
+        for vertex in touched:
+            best[vertex] = 0.0
+            popped[vertex] = 0
+        return result
+
+    def nested_propagation_values(self, order, cuts, threshold: float) -> list:
+        """Propagation value lists for a nested family of seed balls.
+
+        ``order`` is a BFS visit order and ``cuts`` the prefix lengths that
+        delimit the balls (one per radius, non-decreasing).  For each cut
+        this returns the propagation probabilities of the ball's influenced
+        community, **sorted descending** — exactly the value sequence the
+        reference pops, so prefix sums over it are bit-identical.
+
+        Instead of re-running the full multi-source Dijkstra per ball, the
+        labels of ball ``r`` are carried into ball ``r + 1``: they form a
+        max-product fixpoint (no relaxation over them can improve), so when
+        the shell vertices new at ``r + 1`` become seeds at probability 1,
+        only vertices whose label *strictly improves* can affect anything —
+        the incremental pass relaxes those alone.  Every label still equals
+        the maximum stepwise path product from the current seed set, which
+        is what makes the values identical to a fresh run.
+        """
+        best = self._best
+        in_region = self._popped
+        ranked_arcs = self.ranked_arcs
+        settled: list[int] = []
+        out = []
+        previous_cut = 0
+        for cut in cuts:
+            heap = []
+            for position in range(previous_cut, cut):
+                seed = order[position]
+                if best[seed] < 1.0:
+                    if not in_region[seed]:
+                        in_region[seed] = 1
+                        settled.append(seed)
+                    best[seed] = 1.0
+                    heap.append((-1.0, seed))
+            previous_cut = cut
+            heapify(heap)
+            while heap:
+                negative_probability, vertex = heappop(heap)
+                probability = -negative_probability
+                if probability < best[vertex]:
+                    continue  # superseded by a later improvement
+                for edge_probability, neighbour in ranked_arcs[vertex]:
+                    next_probability = probability * edge_probability
+                    if next_probability < threshold:
+                        break
+                    if next_probability <= best[neighbour]:
+                        continue
+                    if not in_region[neighbour]:
+                        in_region[neighbour] = 1
+                        settled.append(neighbour)
+                    best[neighbour] = next_probability
+                    heappush(heap, (-next_probability, neighbour))
+            out.append(sorted((best[vertex] for vertex in settled), reverse=True))
+        for vertex in settled:
+            best[vertex] = 0.0
+            in_region[vertex] = 0
+        return out
+
+
+def bfs_hop_ball(csr: CSRGraph, source: int, radius: int) -> dict[int, int]:
+    """Return ``{vertex int: hop distance}`` for the ``radius``-ball of ``source``.
+
+    Convenience wrapper allocating a fresh workspace; batch callers should
+    hold a :class:`CSRWorkspace` and use :meth:`CSRWorkspace.bfs_ball`.
+    """
+    if radius < 0:
+        raise GraphError(f"radius must be non-negative, got {radius}")
+    if not 0 <= source < csr.num_vertices:
+        raise GraphError(f"vertex int {source!r} is outside [0, {csr.num_vertices})")
+    workspace = CSRWorkspace(csr)
+    order = workspace.bfs_ball(source, radius)
+    dist = workspace.dist
+    return {vertex: dist[vertex] for vertex in order}
+
+
+def community_propagation_csr(
+    csr: CSRGraph,
+    seed_vertices: Iterable,
+    threshold: float,
+    workspace: Optional[CSRWorkspace] = None,
+) -> InfluencedCommunity:
+    """``calculate_influence(g, theta)`` over the CSR snapshot.
+
+    Drop-in equivalent of
+    :func:`repro.influence.propagation.community_propagation`: takes and
+    returns *original* vertex ids, and produces identical ``cpp`` values and
+    an identical influential score.  Pass a shared ``workspace`` when
+    scoring many communities against one snapshot.
+    """
+    seeds = frozenset(seed_vertices)
+    if not seeds:
+        raise GraphError("seed community must contain at least one vertex")
+    if not 0.0 <= threshold < 1.0:
+        raise GraphError(f"influence threshold must be in [0, 1), got {threshold}")
+    index_of = csr.table.index_of
+    seed_ints = [index_of(vertex) for vertex in seeds]
+    if workspace is None:
+        workspace = CSRWorkspace(csr)
+    pairs = workspace.propagate(seed_ints, threshold)
+    id_of = csr.table.id_of
+    cpp = {id_of(vertex): probability for vertex, probability in pairs}
+    return InfluencedCommunity(seed_vertices=seeds, cpp=cpp, threshold=threshold)

@@ -1,0 +1,186 @@
+"""Offline pre-computation (Algorithm 2) on the array backend.
+
+:func:`fast_precompute` is the ``backend="fast"`` implementation behind
+:func:`repro.index.precompute.precompute`.  It produces a
+:class:`~repro.index.precompute.PrecomputedData` that is bit-for-bit
+identical to the reference pass — same trussness and support ints, same
+keyword bit vectors, same score-bound floats — while doing strictly less
+work per centre:
+
+* one CSR BFS to ``r_max`` per centre, shared by all radii;
+* keyword signatures are OR-aggregated *incrementally* over the nested hop
+  balls (only the shell new at radius ``r`` is scanned) instead of
+  re-aggregating every ball from scratch;
+* the support upper bound is likewise an incremental max over per-arc
+  global supports (an array lookup), where the reference allocates and
+  hashes a ``frozenset`` edge key per ball edge per radius;
+* influence score bounds run the workspace max-product Dijkstra
+  (:meth:`~repro.fastgraph.kernels.CSRWorkspace.propagate`), summing in pop
+  order — which is descending, hence a bit-reproducible float sum.
+
+The incremental aggregations are exact, not approximate: hop balls are
+nested in the radius, OR and max are monotone, and supports are measured in
+the full graph, so shell-by-shell accumulation visits every contributing
+member/edge exactly once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import GraphError
+from repro.fastgraph.csr import freeze
+from repro.fastgraph.kernels import (
+    CSRWorkspace,
+    edge_supports_csr,
+    supports_as_dict,
+    truss_peel,
+)
+from repro.graph.social_network import SocialNetwork
+from repro.keywords.bitvector import BitVector
+
+
+def fast_precompute(
+    graph: SocialNetwork,
+    max_radius: int,
+    thresholds: Sequence[float],
+    num_bits: int,
+    vertices: Iterable | None = None,
+    frozen=None,
+):
+    """Run the offline pre-computation over a frozen snapshot of ``graph``.
+
+    Parameters and result match
+    :func:`repro.index.precompute.precompute`; see the module docstring for
+    the equivalence argument.  Pass ``frozen`` (a ``CSRGraph`` of the same
+    graph) to reuse an existing snapshot instead of freezing again.
+    Callers normally go through ``precompute(..., backend="fast")`` rather
+    than calling this directly.
+    """
+    # Deferred import: repro.index.precompute routes its fast backend here,
+    # so the result types cannot be imported at module level.
+    from repro.index.precompute import (
+        PrecomputedData,
+        RadiusAggregates,
+        VertexAggregates,
+    )
+
+    if max_radius < 1:
+        raise GraphError(f"max_radius must be >= 1, got {max_radius}")
+    ordered_thresholds = tuple(sorted(set(float(t) for t in thresholds)))
+    if not ordered_thresholds:
+        raise GraphError("at least one influence threshold is required")
+    for theta in ordered_thresholds:
+        if not 0.0 <= theta < 1.0:
+            raise GraphError(f"influence thresholds must be in [0, 1), got {theta}")
+
+    csr = frozen if frozen is not None else freeze(graph)
+    data = PrecomputedData(
+        max_radius=max_radius,
+        thresholds=ordered_thresholds,
+        num_bits=num_bits,
+    )
+    supports = edge_supports_csr(csr)
+    data.global_edge_support = supports_as_dict(csr, supports)
+    _, vertex_truss = truss_peel(csr, supports)
+
+    workspace = CSRWorkspace(csr)
+    support_list = supports.tolist()
+    # Per-vertex (neighbour, edge support) pairs for the shell scan below.
+    indices_list = workspace.indices
+    arc_edge_list = workspace.arc_edge
+    indptr_list = workspace.indptr
+    # Sorted by descending support so the shell scan below can stop at the
+    # first entry that cannot beat the running maximum.
+    support_arcs = [
+        tuple(
+            sorted(
+                (
+                    (support_list[arc_edge_list[a]], indices_list[a])
+                    for a in range(indptr_list[u], indptr_list[u + 1])
+                ),
+                reverse=True,
+            )
+        )
+        for u in range(csr.num_vertices)
+    ]
+    keyword_bits = [
+        BitVector.from_keywords(keywords, num_bits).bits for keywords in csr.keywords
+    ]
+
+    index_of = csr.table.index_of
+    id_of = csr.table.id_of
+    if vertices is None:
+        centres = range(csr.num_vertices)
+    else:
+        centres = [index_of(vertex) for vertex in vertices]
+
+    smallest_theta = ordered_thresholds[0]
+    num_thresholds = len(ordered_thresholds)
+    dist = workspace.dist
+    for centre in centres:
+        order = workspace.bfs_ball(centre, max_radius)
+        position = 0
+        ball_size = len(order)
+        bits = 0
+        support_bound = 0
+        cuts: list[int] = []
+        bits_per_radius: list[int] = []
+        bound_per_radius: list[int] = []
+        for radius in range(1, max_radius + 1):
+            # Fold in the shell new at this radius (the centre itself folds
+            # in at radius 1).  Edge (m, w) belongs to ball_r exactly when
+            # both hop distances are <= r, so scanning each new member's
+            # arcs against already-distanced endpoints sees every ball edge
+            # at the first radius that contains it.
+            while position < ball_size:
+                member = order[position]
+                if dist[member] > radius:
+                    break
+                bits |= keyword_bits[member]
+                for support, endpoint in support_arcs[member]:
+                    if support <= support_bound:
+                        break  # descending: nothing later can improve the max
+                    if 0 <= dist[endpoint] <= radius:
+                        support_bound = support
+                position += 1
+            cuts.append(position)
+            bits_per_radius.append(bits)
+            bound_per_radius.append(support_bound)
+
+        value_lists = workspace.nested_propagation_values(
+            order, cuts, smallest_theta
+        )
+        per_radius: dict[int, RadiusAggregates] = {}
+        for radius in range(1, max_radius + 1):
+            # The values are descending — exactly the order the reference
+            # pops them in — so each theta's reference sum (over all
+            # cpp >= theta) is a prefix sum: one walk recovers every bound
+            # with the same float additions.
+            values = value_lists[radius - 1]
+            sums = [0.0] * num_thresholds
+            running = 0.0
+            cursor = num_thresholds - 1
+            for probability in values:
+                while cursor >= 0 and probability < ordered_thresholds[cursor]:
+                    sums[cursor] = running
+                    cursor -= 1
+                if cursor < 0:
+                    break
+                running += probability
+            while cursor >= 0:
+                sums[cursor] = running
+                cursor -= 1
+            per_radius[radius] = RadiusAggregates(
+                radius=radius,
+                bitvector=BitVector(bits_per_radius[radius - 1], num_bits),
+                support_upper_bound=bound_per_radius[radius - 1],
+                score_bounds=tuple(zip(ordered_thresholds, sums)),
+            )
+        data.vertex_aggregates[id_of(centre)] = VertexAggregates(
+            vertex=id_of(centre),
+            keyword_bitvector=BitVector(keyword_bits[centre], num_bits),
+            per_radius=per_radius,
+            center_trussness=vertex_truss[centre],
+        )
+    return data

@@ -1,0 +1,83 @@
+"""Interning of arbitrary hashable vertex ids into dense integers.
+
+Every structure in :mod:`repro.fastgraph` works over dense ints
+``0..n-1``.  :class:`VertexTable` owns the bijection between those ints and
+the original vertex ids of a :class:`~repro.graph.social_network.SocialNetwork`.
+
+Interning is *stable*: ids are numbered in first-intern order, so freezing
+the same graph twice produces tables with identical mappings (the
+equivalence and round-trip tests rely on this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.exceptions import VertexNotFoundError
+
+
+class VertexTable:
+    """A stable bijection ``vertex id <-> dense int``.
+
+    Vertices may be any hashable object (ints, strings, tuples, ...).  The
+    dense index of a vertex is its first-intern position, so iteration order
+    over the source graph fully determines the numbering.
+    """
+
+    __slots__ = ("_ids", "_index")
+
+    def __init__(self, ids: Iterable[Hashable] = ()) -> None:
+        self._ids: list = []
+        self._index: dict = {}
+        for vertex in ids:
+            self.intern(vertex)
+
+    def intern(self, vertex: Hashable) -> int:
+        """Return the dense index of ``vertex``, assigning the next one if new."""
+        index = self._index.get(vertex)
+        if index is None:
+            index = len(self._ids)
+            self._index[vertex] = index
+            self._ids.append(vertex)
+        return index
+
+    def index_of(self, vertex: Hashable) -> int:
+        """Return the dense index of ``vertex``.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If ``vertex`` was never interned.
+        """
+        try:
+            return self._index[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def id_of(self, index: int) -> Hashable:
+        """Return the original vertex id of dense index ``index``."""
+        return self._ids[index]
+
+    def ids(self) -> list:
+        """Return the original vertex ids in dense-index order (a copy)."""
+        return list(self._ids)
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self._index
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexTable(n={len(self._ids)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexTable):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("VertexTable is unhashable (it is mutable while interning)")

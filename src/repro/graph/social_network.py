@@ -257,6 +257,19 @@ class SocialNetwork:
     # ------------------------------------------------------------------ #
     # derived views
     # ------------------------------------------------------------------ #
+    def freeze(self):
+        """Return an immutable array-backed snapshot of this graph.
+
+        The snapshot is a :class:`repro.fastgraph.csr.CSRGraph`: vertex ids
+        interned to dense ints, CSR adjacency, and per-direction probability
+        arrays — the representation the ``fast`` backend's kernels run on.
+        The snapshot does not track later mutations of this graph; re-freeze
+        after edits (``CSRGraph.thaw()`` converts back).
+        """
+        from repro.fastgraph.csr import freeze as _freeze
+
+        return _freeze(self)
+
     def copy(self, name: Optional[str] = None) -> "SocialNetwork":
         """Return a deep structural copy of the graph."""
         clone = SocialNetwork(name=name or self.name)

@@ -178,6 +178,8 @@ def precompute(
     thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     num_bits: int = DEFAULT_NUM_BITS,
     vertices: Iterable[VertexId] | None = None,
+    backend: str = "reference",
+    frozen=None,
 ) -> PrecomputedData:
     """Run the offline pre-computation (Algorithm 2) over ``graph``.
 
@@ -194,11 +196,35 @@ def precompute(
     vertices:
         Optional subset of centre vertices to pre-compute (defaults to all).
         Restricting the set is used by tests and by incremental re-builds.
+    backend:
+        ``"reference"`` runs the dict-based pass below; ``"fast"`` delegates
+        to :func:`repro.fastgraph.offline.fast_precompute`, which produces a
+        bit-identical result over an array snapshot of ``graph``.
+    frozen:
+        Optional pre-built CSR snapshot of ``graph`` for the ``fast``
+        backend (the engine passes the one it will also serve queries
+        from, so the graph is frozen once per epoch).  Ignored on the
+        reference backend.
 
     Returns
     -------
     PrecomputedData
     """
+    if backend == "fast":
+        # Deferred import; repro.fastgraph.offline imports this module's
+        # result types.
+        from repro.fastgraph.offline import fast_precompute
+
+        return fast_precompute(
+            graph,
+            max_radius=max_radius,
+            thresholds=thresholds,
+            num_bits=num_bits,
+            vertices=vertices,
+            frozen=frozen,
+        )
+    if backend != "reference":
+        raise GraphError(f"backend must be 'reference' or 'fast', got {backend!r}")
     if max_radius < 1:
         raise GraphError(f"max_radius must be >= 1, got {max_radius}")
     ordered_thresholds = tuple(sorted(set(float(t) for t in thresholds)))

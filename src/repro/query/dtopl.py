@@ -42,6 +42,9 @@ class DTopLProcessor:
         pruning: Optional[PruningConfig] = None,
         propagation_cache=None,
         cache_epoch: int = 0,
+        backend: str = "reference",
+        frozen=None,
+        workspace=None,
     ) -> None:
         self.graph = graph
         self.topl = TopLProcessor(
@@ -50,6 +53,9 @@ class DTopLProcessor:
             pruning=pruning,
             propagation_cache=propagation_cache,
             cache_epoch=cache_epoch,
+            backend=backend,
+            frozen=frozen,
+            workspace=workspace,
         )
 
     @property

@@ -110,6 +110,21 @@ class TopLProcessor:
         Graph epoch tagged into propagation-cache keys; the serving layer
         passes the engine's current epoch so entries memoised before a
         dynamic update can never be served after it.
+    backend:
+        ``"reference"`` scores candidate communities with the dict-based
+        :func:`~repro.influence.propagation.community_propagation`;
+        ``"fast"`` scores them over an array snapshot of the graph
+        (identical floats — see :mod:`repro.fastgraph`).  Candidate
+        extraction always runs on the reference structures.
+    frozen:
+        Optional pre-built :class:`~repro.fastgraph.csr.CSRGraph` snapshot
+        for the ``fast`` backend (the engine shares one across processors);
+        when omitted the processor freezes the graph on first use.
+    workspace:
+        Optional :class:`~repro.fastgraph.kernels.CSRWorkspace` over
+        ``frozen``, likewise shared by the engine so per-call processors do
+        not rebuild the scratch arrays per query.  Workspaces are
+        single-threaded: share one only across sequential callers.
     """
 
     def __init__(
@@ -119,12 +134,18 @@ class TopLProcessor:
         pruning: Optional[PruningConfig] = None,
         propagation_cache=None,
         cache_epoch: int = 0,
+        backend: str = "reference",
+        frozen=None,
+        workspace=None,
     ) -> None:
         self.graph = graph
         self.index = index if index is not None else build_tree_index(graph)
         self.pruning = pruning if pruning is not None else PruningConfig.all_enabled()
         self.propagation_cache = propagation_cache
         self.cache_epoch = cache_epoch
+        self.backend = backend
+        self._frozen = frozen
+        self._workspace = workspace
         if propagation_cache is not None:
             # Deferred import: repro.serve imports this module at package
             # init, so the cache helpers cannot be imported at module level.
@@ -283,16 +304,34 @@ class TopLProcessor:
         """Run ``calculate_influence``, consulting the propagation cache if any."""
         cache = self.propagation_cache
         if cache is None:
-            return community_propagation(self.graph, vertices, theta)
+            return self._calculate_influence(vertices, theta)
         key = self._propagation_key(vertices, theta, self.cache_epoch)
         influenced = cache.get(key)
         if influenced is not None:
             statistics.propagation_cache_hits += 1
             return influenced
         statistics.propagation_cache_misses += 1
-        influenced = community_propagation(self.graph, vertices, theta)
+        influenced = self._calculate_influence(vertices, theta)
         cache.put(key, influenced)
         return influenced
+
+    def _calculate_influence(self, vertices: frozenset, theta: float):
+        """Score a community on the configured backend (identical results)."""
+        if self.backend != "fast":
+            return community_propagation(self.graph, vertices, theta)
+        if self._workspace is None:
+            # Deferred import keeps repro.query importable without the
+            # fastgraph package loaded (reference-only deployments).
+            from repro.fastgraph.kernels import CSRWorkspace
+
+            if self._frozen is None:
+                self._frozen = self.graph.freeze()
+            self._workspace = CSRWorkspace(self._frozen)
+        from repro.fastgraph.kernels import community_propagation_csr
+
+        return community_propagation_csr(
+            self._frozen, vertices, theta, workspace=self._workspace
+        )
 
 
 def topl_icde(

@@ -189,19 +189,25 @@ def _build_processors(
     propagation_cache_capacity: int,
     cache_epoch: int = 0,
     propagation_cache: Optional[LRUCache] = None,
+    backend: str = "reference",
+    frozen=None,
 ) -> tuple:
     cache = (
         propagation_cache
         if propagation_cache is not None
         else maybe_cache(propagation_cache_capacity)
     )
+    # The processors share one CSR snapshot on the fast backend (freezing is
+    # O(|V| + |E|); no reason to pay it twice per worker).
+    if backend == "fast" and frozen is None:
+        frozen = graph.freeze()
     topl = TopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
-        cache_epoch=cache_epoch,
+        cache_epoch=cache_epoch, backend=backend, frozen=frozen,
     )
     dtopl = DTopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
-        cache_epoch=cache_epoch,
+        cache_epoch=cache_epoch, backend=backend, frozen=frozen,
     )
     return topl, dtopl
 
@@ -209,8 +215,10 @@ def _build_processors(
 def _worker_init_fork() -> None:
     """Pool initializer for ``fork``: the state arrived with the fork itself."""
     global _WORKER_PROCESSORS
-    graph, index, pruning, capacity, epoch = _FORK_STATE
-    _WORKER_PROCESSORS = _build_processors(graph, index, pruning, capacity, epoch)
+    graph, index, pruning, capacity, epoch, backend = _FORK_STATE
+    _WORKER_PROCESSORS = _build_processors(
+        graph, index, pruning, capacity, epoch, backend=backend
+    )
 
 
 def _worker_init_rebuild(payload: dict) -> None:
@@ -234,6 +242,7 @@ def _worker_init_rebuild(payload: dict) -> None:
         pruning,
         payload["propagation_cache_capacity"],
         payload.get("cache_epoch", 0),
+        backend=payload.get("backend", "reference"),
     )
 
 
@@ -292,7 +301,17 @@ class BatchQueryEngine:
             self.config.propagation_cache_capacity,
             cache_epoch=self._epoch,
             propagation_cache=self.propagation_cache,
+            backend=self._backend(),
+            frozen=self._frozen(),
         )
+
+    def _backend(self) -> str:
+        config = getattr(self.engine, "config", None)
+        return getattr(config, "backend", "reference")
+
+    def _frozen(self):
+        frozen_graph = getattr(self.engine, "frozen_graph", None)
+        return frozen_graph() if callable(frozen_graph) else None
 
     def _refresh_if_stale(self) -> None:
         """Absorb a dynamic update of the served engine.
@@ -447,6 +466,7 @@ class BatchQueryEngine:
                     self.pruning,
                     self.config.propagation_cache_capacity,
                     self._epoch,
+                    self._backend(),
                 )
                 pool = context.Pool(workers, initializer=_worker_init_fork)
             else:
@@ -496,6 +516,7 @@ class BatchQueryEngine:
             },
             "propagation_cache_capacity": self.config.propagation_cache_capacity,
             "cache_epoch": self._epoch,
+            "backend": self._backend(),
         }
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,107 @@
+"""CSRGraph freeze/thaw: shape, probabilities, round-trips, numpy bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fastgraph import CSRGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import graph_to_dict
+from repro.graph.social_network import SocialNetwork
+
+
+def small_graph() -> SocialNetwork:
+    graph = SocialNetwork(name="frozen-test")
+    graph.add_vertex("a", {"movies"})
+    graph.add_vertex("b", {"books", "movies"})
+    graph.add_edge("a", "b", 0.25, 0.75)
+    graph.add_edge("b", "c", 0.5)
+    graph.add_edge("a", "c", 0.1, 0.9)
+    graph.add_vertex("lonely", {"travel"})
+    return graph
+
+
+def assert_same_network(left: SocialNetwork, right: SocialNetwork) -> None:
+    """Semantic equality: vertices, keywords, edges, directional probabilities."""
+    assert left.name == right.name
+    assert set(left.vertices()) == set(right.vertices())
+    for vertex in left.vertices():
+        assert left.keywords(vertex) == right.keywords(vertex)
+    left_edges = {frozenset(edge) for edge in left.edges()}
+    right_edges = {frozenset(edge) for edge in right.edges()}
+    assert left_edges == right_edges
+    for u, v in left.edges():
+        assert left.probability(u, v) == right.probability(u, v)
+        assert left.probability(v, u) == right.probability(v, u)
+
+
+def test_freeze_shape_and_lookups():
+    graph = small_graph()
+    csr = graph.freeze()
+    assert isinstance(csr, CSRGraph)
+    assert csr.num_vertices == 4
+    assert csr.num_edges == 3
+    assert csr.num_arcs == 6
+    a = csr.table.index_of("a")
+    assert csr.degree(a) == 2
+    assert csr.degree(csr.table.index_of("lonely")) == 0
+    # Arc probabilities are the directional activation probabilities.
+    b = csr.table.index_of("b")
+    for position in range(csr.indptr[a], csr.indptr[a + 1]):
+        if csr.indices[position] == b:
+            assert csr.prob_out[position] == 0.25
+            assert csr.prob_in[position] == 0.75
+
+
+def test_keywords_carried_per_dense_index():
+    csr = small_graph().freeze()
+    assert csr.keywords[csr.table.index_of("b")] == frozenset({"books", "movies"})
+    assert csr.keywords[csr.table.index_of("lonely")] == frozenset({"travel"})
+
+
+def test_thaw_round_trip_small():
+    graph = small_graph()
+    assert_same_network(graph, graph.freeze().thaw())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_thaw_round_trip_random(seed):
+    graph = erdos_renyi_graph(
+        14, edge_probability=0.3, rng=seed, weight_range=(0.05, 0.95)
+    )
+    assert_same_network(graph, graph.freeze().thaw())
+
+
+def test_freeze_is_deterministic():
+    graph = small_graph()
+    first, second = graph.freeze(), graph.freeze()
+    assert first.table == second.table
+    assert first.indptr == second.indptr
+    assert first.indices == second.indices
+    assert first.prob_out == second.prob_out
+    assert first.prob_in == second.prob_in
+
+
+def test_double_round_trip_is_stable():
+    graph = small_graph()
+    once = graph.freeze().thaw()
+    twice = once.freeze().thaw()
+    assert_same_network(once, twice)
+    assert graph_to_dict(once) == graph_to_dict(twice)
+
+
+def test_empty_graph_freezes():
+    csr = SocialNetwork(name="empty").freeze()
+    assert csr.num_vertices == 0
+    assert csr.num_edges == 0
+    assert_same_network(csr.thaw(), SocialNetwork(name="empty"))
+
+
+def test_as_numpy_zero_copy():
+    numpy = pytest.importorskip("numpy")
+    csr = small_graph().freeze()
+    views = csr.as_numpy()
+    assert views["indptr"].tolist() == csr.indptr.tolist()
+    assert views["prob_out"].dtype == numpy.float64
+    # Zero-copy: the ndarray shares the array.array buffer.
+    assert views["indices"].base is not None

@@ -1,0 +1,147 @@
+"""Kernel-level cross-backend equivalence: supports, trussness, propagation.
+
+Every fast kernel must reproduce its reference counterpart *exactly* —
+identical ints for supports and trussness, bit-identical floats for
+propagation probabilities and influential scores — on seeded random graphs
+and on hypothesis-generated ones.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.fastgraph import (
+    community_propagation_csr,
+    edge_supports_csr,
+    freeze,
+    truss_decomposition_csr,
+)
+from repro.fastgraph.kernels import CSRWorkspace, bfs_hop_ball, supports_as_dict
+from repro.graph.generators import erdos_renyi_graph, planted_community_graph
+from repro.graph.keyword_assignment import assign_keywords
+from repro.graph.traversal import bfs_distances
+from repro.influence.propagation import community_propagation
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.support import edge_support
+
+from tests.property.strategies import social_networks
+
+
+def seeded_graph(seed: int):
+    rng = random.Random(seed)
+    if seed % 3 == 0:
+        graph = planted_community_graph(
+            [rng.randint(4, 9) for _ in range(rng.randint(2, 4))],
+            intra_probability=0.5,
+            inter_probability=0.05,
+            rng=seed,
+        )
+    else:
+        graph = erdos_renyi_graph(
+            rng.randint(4, 24),
+            edge_probability=rng.uniform(0.1, 0.6),
+            rng=seed,
+            weight_range=(0.05, 0.95),
+        )
+    assign_keywords(graph, keywords_per_vertex=3, domain_size=20, rng=seed)
+    return rng, graph
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_supports_match_reference(seed):
+    _, graph = seeded_graph(seed)
+    csr = freeze(graph)
+    assert supports_as_dict(csr, edge_supports_csr(csr)) == edge_support(graph)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_trussness_matches_reference(seed):
+    _, graph = seeded_graph(seed)
+    reference = truss_decomposition(graph)
+    fast = truss_decomposition_csr(freeze(graph))
+    assert fast.edge_trussness == reference.edge_trussness
+    assert fast.vertex_trussness == reference.vertex_trussness
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_truss_backend_switch_on_decomposition(seed):
+    _, graph = seeded_graph(seed)
+    assert (
+        truss_decomposition(graph, backend="fast").edge_trussness
+        == truss_decomposition(graph).edge_trussness
+    )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_bfs_balls_match_reference(seed):
+    _, graph = seeded_graph(seed)
+    csr = freeze(graph)
+    for vertex in list(graph.vertices())[:5]:
+        for radius in (1, 2, 3):
+            reference = bfs_distances(graph, vertex, max_depth=radius)
+            fast = bfs_hop_ball(csr, csr.table.index_of(vertex), radius)
+            assert {csr.table.id_of(v): d for v, d in fast.items()} == reference
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_propagation_bit_identical(seed):
+    rng, graph = seeded_graph(seed)
+    csr = freeze(graph)
+    workspace = CSRWorkspace(csr)
+    vertices = list(graph.vertices())
+    for theta in (0.0, 0.1, 0.35):
+        seeds = frozenset(rng.sample(vertices, rng.randint(1, min(4, len(vertices)))))
+        reference = community_propagation(graph, seeds, theta)
+        fast = community_propagation_csr(csr, seeds, theta, workspace=workspace)
+        assert fast.cpp == reference.cpp, (seed, theta)
+        # Bit-identical float sum, not just approximate equality.
+        assert fast.score == reference.score, (seed, theta)
+        assert fast.vertices == reference.vertices
+        assert fast.threshold == reference.threshold
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_nested_propagation_values_match_per_radius_runs(seed):
+    """The chained per-radius pass equals three independent propagations."""
+    _, graph = seeded_graph(seed)
+    if graph.num_edges() == 0:
+        pytest.skip("edgeless graph")
+    csr = freeze(graph)
+    workspace = CSRWorkspace(csr)
+    centre = csr.table.index_of(next(iter(graph.vertices())))
+    order = workspace.bfs_ball(centre, 3)
+    dist = workspace.dist
+    cuts = []
+    position = 0
+    for radius in (1, 2, 3):
+        while position < len(order) and dist[order[position]] <= radius:
+            position += 1
+        cuts.append(position)
+    chained = workspace.nested_propagation_values(order, cuts, 0.1)
+    for radius, cut in enumerate(cuts, start=1):
+        seeds = frozenset(csr.table.id_of(v) for v in order[:cut])
+        reference = community_propagation(graph, seeds, 0.1)
+        assert chained[radius - 1] == sorted(reference.cpp.values(), reverse=True), (
+            seed,
+            radius,
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=social_networks(min_vertices=2, max_vertices=14))
+def test_hypothesis_kernels_match_reference(graph):
+    csr = freeze(graph)
+    assert supports_as_dict(csr, edge_supports_csr(csr)) == edge_support(graph)
+    fast = truss_decomposition_csr(csr)
+    reference = truss_decomposition(graph)
+    assert fast.edge_trussness == reference.edge_trussness
+    assert fast.vertex_trussness == reference.vertex_trussness
+    seeds = frozenset(list(graph.vertices())[:2])
+    for theta in (0.0, 0.2):
+        ours = community_propagation_csr(csr, seeds, theta)
+        theirs = community_propagation(graph, seeds, theta)
+        assert ours.cpp == theirs.cpp
+        assert ours.score == theirs.score

@@ -1,0 +1,46 @@
+"""VertexTable interning: stability, lookups, and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.fastgraph import VertexTable
+
+
+def test_interning_assigns_dense_indices_in_first_seen_order():
+    table = VertexTable()
+    assert table.intern("alice") == 0
+    assert table.intern("bob") == 1
+    assert table.intern("alice") == 0  # re-interning is a lookup
+    assert len(table) == 2
+    assert table.ids() == ["alice", "bob"]
+
+
+def test_index_of_and_id_of_are_inverse():
+    ids = ["u", ("tuple", 3), 42, "v w"]  # mixed hashables, spaces included
+    table = VertexTable(ids)
+    for vertex in ids:
+        assert table.id_of(table.index_of(vertex)) == vertex
+    assert list(table) == ids
+
+
+def test_index_of_unknown_vertex_raises():
+    table = VertexTable(["a"])
+    with pytest.raises(VertexNotFoundError):
+        table.index_of("b")
+    assert "b" not in table
+    assert "a" in table
+
+
+def test_interning_is_stable_across_constructions():
+    ids = [f"user-{i}" for i in range(20)]
+    first = VertexTable(ids)
+    second = VertexTable(ids)
+    assert first == second
+    assert [first.index_of(v) for v in ids] == [second.index_of(v) for v in ids]
+
+
+def test_table_is_unhashable():
+    with pytest.raises(TypeError):
+        hash(VertexTable(["a"]))

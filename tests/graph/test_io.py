@@ -146,6 +146,63 @@ class TestNetworkxConversion:
         graph = from_networkx(nx_graph)
         assert graph.num_edges() == 1
 
+    def _non_integer_id_graph(self):
+        """Mixed non-integer hashable ids: spaced strings, tuples, and ints."""
+        from repro.graph.social_network import SocialNetwork
+
+        graph = SocialNetwork(name="non-integer-ids")
+        graph.add_vertex("Jane Doe", {"movies"})
+        graph.add_vertex(("paper", 2024), {"books", "travel"})
+        graph.add_vertex(42, {"music"})
+        graph.add_edge("Jane Doe", ("paper", 2024), 0.3, 0.7)
+        graph.add_edge(("paper", 2024), 42, 0.55)
+        graph.add_edge("Jane Doe", 42, 0.2, 0.9)
+        return graph
+
+    def test_round_trip_with_non_integer_ids(self):
+        """DiGraph round trip preserves spaced-string and tuple vertex ids."""
+        pytest.importorskip("networkx")
+        graph = self._non_integer_id_graph()
+        rebuilt = from_networkx(to_networkx(graph))
+        assert set(rebuilt.vertices()) == set(graph.vertices())
+        for vertex in graph.vertices():
+            assert rebuilt.keywords(vertex) == graph.keywords(vertex)
+        for u, v in graph.edges():
+            assert rebuilt.probability(u, v) == pytest.approx(graph.probability(u, v))
+            assert rebuilt.probability(v, u) == pytest.approx(graph.probability(v, u))
+
+    def test_non_integer_ids_intern_consistently_through_networkx(self):
+        """VertexTable interning is id-value based, so a networkx round trip
+        (which may reorder vertices) still interns every id and freezing the
+        same graph twice yields identical tables."""
+        pytest.importorskip("networkx")
+        graph = self._non_integer_id_graph()
+        rebuilt = from_networkx(to_networkx(graph))
+        original_csr = graph.freeze()
+        rebuilt_csr = rebuilt.freeze()
+        for vertex in graph.vertices():
+            # Same ids exist in both tables (dense ints may differ when
+            # networkx reorders; the id <-> int bijection must hold).
+            dense = rebuilt_csr.table.index_of(vertex)
+            assert rebuilt_csr.table.id_of(dense) == vertex
+            assert original_csr.table.id_of(
+                original_csr.table.index_of(vertex)
+            ) == vertex
+        # Interning stability: re-freezing an unchanged graph is identical.
+        again = rebuilt.freeze()
+        assert again.table == rebuilt_csr.table
+        assert again.indices == rebuilt_csr.indices
+        assert again.prob_out == rebuilt_csr.prob_out
+
+    def test_freeze_thaw_preserves_non_integer_ids(self):
+        graph = self._non_integer_id_graph()
+        thawed = graph.freeze().thaw()
+        assert set(thawed.vertices()) == set(graph.vertices())
+        for u, v in graph.edges():
+            assert thawed.probability(u, v) == graph.probability(u, v)
+            assert thawed.probability(v, u) == graph.probability(v, u)
+        assert thawed.keywords("Jane Doe") == frozenset({"movies"})
+
 
 class TestEmptyGraph:
     def test_empty_graph_json_round_trip(self, tmp_path):

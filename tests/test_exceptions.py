@@ -1,0 +1,79 @@
+"""Regression tests: error messages must ``repr()`` embedded vertex ids.
+
+A vertex id is arbitrary user data — commonly a string, possibly one with
+spaces ("Jane Doe") or one that looks like surrounding message text.  An
+error message that interpolates it raw is ambiguous: ``vertex Jane Doe is
+not in the graph`` reads as two words of prose, and ``edge (a, b, c, d)``
+cannot be split back into its two endpoints.  Every message that embeds an
+id must therefore use ``repr()``, which quotes strings and keeps tuple ids
+bracketed.  These tests lock that contract for the exception hierarchy and
+for the raise sites that build their own messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidProbabilityError,
+    VertexNotFoundError,
+)
+from repro.graph.social_network import SocialNetwork
+from repro.graph.validation import validate_graph
+from repro.index.tree import build_tree_index
+
+
+SPACED = "Jane Doe"
+TRICKY = "is not in"  # raw interpolation would make the message self-similar
+
+
+def test_vertex_not_found_quotes_string_ids():
+    error = VertexNotFoundError(SPACED)
+    assert "'Jane Doe'" in str(error)
+    assert error.vertex == SPACED
+
+
+def test_vertex_not_found_message_unambiguous_for_tricky_ids():
+    assert "'is not in'" in str(VertexNotFoundError(TRICKY))
+
+
+def test_edge_not_found_quotes_both_endpoints():
+    error = EdgeNotFoundError(SPACED, ("tuple", "id"))
+    message = str(error)
+    assert "'Jane Doe'" in message
+    assert "('tuple', 'id')" in message
+    assert (error.u, error.v) == (SPACED, ("tuple", "id"))
+
+
+def test_invalid_probability_reprs_value():
+    assert "'not-a-float'" in str(InvalidProbabilityError("not-a-float"))
+
+
+def test_graph_raise_sites_quote_ids():
+    graph = SocialNetwork()
+    graph.add_edge("a b", "c d", 0.5)
+    with pytest.raises(VertexNotFoundError, match="'x y'"):
+        graph.degree("x y")
+    with pytest.raises(EdgeNotFoundError, match="'a b'.*'x y'"):
+        graph.probability("a b", "x y")
+    with pytest.raises(GraphError, match="'a b'"):
+        graph.add_edge("a b", "a b")  # self-loop message embeds the id
+
+
+def test_validation_report_quotes_ids():
+    graph = SocialNetwork()
+    graph.add_edge("u v", "w x", 0.5)
+    # Corrupt the structure to force a validation message embedding the ids.
+    del graph._adj["w x"]["u v"]
+    report = validate_graph(graph, strict=False)
+    assert any("'u v'" in issue and "'w x'" in issue for issue in report.issues)
+
+
+def test_index_coverage_error_quotes_ids():
+    graph = SocialNetwork()
+    graph.add_edge("a b", "c d", 0.5)
+    index = build_tree_index(graph)
+    with pytest.raises(Exception, match="'nope nope'"):
+        index.vertex_aggregates("nope nope")
