@@ -17,6 +17,7 @@ Quick start
 True
 """
 
+from repro._version import __version__
 from repro.core.config import EngineConfig
 from repro.core.engine import InfluentialCommunityEngine
 from repro.dynamic.maintenance import UpdateReport
@@ -27,10 +28,15 @@ from repro.exceptions import (
     GraphError,
     IndexStateError,
     InvalidProbabilityError,
+    MalformedRequestError,
     QueryParameterError,
     ReproError,
     SerializationError,
+    ServiceRequestError,
     ServingError,
+    SessionExistsError,
+    UnknownSessionError,
+    UnsupportedSchemaVersionError,
     VertexNotFoundError,
 )
 from repro.fastgraph import CSRGraph, VertexTable
@@ -44,8 +50,8 @@ from repro.query.topl import TopLProcessor, topl_icde
 from repro.query.dtopl import DTopLProcessor, dtopl_icde
 from repro.serve.batch import BatchQueryEngine, BatchResult, BatchStatistics, ServingConfig
 from repro.serve.cache import LRUCache
-
-__version__ = "1.2.0"
+from repro.service.facade import CommunityService
+from repro.service.gateway import ServiceGateway
 
 __all__ = [
     "EngineConfig",
@@ -59,10 +65,15 @@ __all__ = [
     "GraphError",
     "IndexStateError",
     "InvalidProbabilityError",
+    "MalformedRequestError",
     "QueryParameterError",
     "ReproError",
     "SerializationError",
+    "ServiceRequestError",
     "ServingError",
+    "SessionExistsError",
+    "UnknownSessionError",
+    "UnsupportedSchemaVersionError",
     "VertexNotFoundError",
     "CSRGraph",
     "VertexTable",
@@ -87,5 +98,7 @@ __all__ = [
     "BatchStatistics",
     "ServingConfig",
     "LRUCache",
+    "CommunityService",
+    "ServiceGateway",
     "__version__",
 ]

@@ -1,0 +1,43 @@
+"""Single source of truth for the package version.
+
+The authoritative version lives in ``pyproject.toml``.  Installed builds
+read it back through :mod:`importlib.metadata`; source checkouts (the
+``PYTHONPATH=src`` workflow used by the test-suite and CI) fall back to
+parsing ``pyproject.toml`` directly so the two never disagree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+#: The distribution name registered in ``pyproject.toml``.
+DISTRIBUTION_NAME = "repro-topl-icde"
+
+_VERSION_PATTERN = re.compile(r'^version\s*=\s*"([^"]+)"\s*$', re.MULTILINE)
+
+
+def _version_from_pyproject() -> str | None:
+    """Parse ``version = "..."`` out of the checkout's pyproject.toml."""
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    match = _VERSION_PATTERN.search(text)
+    return match.group(1) if match else None
+
+
+def resolve_version() -> str:
+    """Return the package version from installed metadata or the source tree."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return _version_from_pyproject() or "0.0.0"
+    try:
+        return version(DISTRIBUTION_NAME)
+    except PackageNotFoundError:
+        return _version_from_pyproject() or "0.0.0"
+
+
+__version__ = resolve_version()

@@ -3,7 +3,7 @@
 The CLI wires the library's pieces together for shell usage::
 
     repro generate --dataset uni --vertices 500 --out graph.json
-    repro stats graph.json
+    repro stats graph.json [--index graph.index.json]
     repro build-index graph.json --out graph.index.json
     repro topl graph.json --keywords movies,books --k 3 --radius 2 --theta 0.2 --top-l 3
     repro dtopl graph.json --keywords movies,books --top-l 3 --candidate-factor 3
@@ -12,6 +12,12 @@ The CLI wires the library's pieces together for shell usage::
     repro batch graph.json --queries 32 --no-cache   # alias of `serve`
     repro update graph.json --script edits.json --out-graph graph2.json
     repro update graph.json --random 50 --out-script edits.json
+    repro gateway graph.json --port 8344             # HTTP service API
+
+Every data-plane subcommand routes through the versioned service API —
+:class:`repro.service.CommunityService` and the typed request objects of
+:mod:`repro.service.schema` — so the CLI, the HTTP gateway and programmatic
+callers exercise exactly the same boundary.
 
 Every subcommand is also callable programmatically through :func:`main`,
 which accepts an ``argv`` list and returns a process exit code — that is how
@@ -24,19 +30,29 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.core.config import EngineConfig
-from repro.core.engine import InfluentialCommunityEngine
+from repro._version import __version__
 from repro.exceptions import ReproError
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.io import load_graph_json, save_graph_json, write_edge_list
 from repro.graph.statistics import compute_statistics
 from repro.query.params import make_dtopl_query, make_topl_query
+from repro.serve.batch import ServingConfig
+from repro.service.facade import CommunityService
+from repro.service.schema import (
+    BatchRequest,
+    BuildRequest,
+    DToplRequest,
+    ToplRequest,
+    UpdateRequest,
+)
 from repro.workloads.queries import QueryWorkload
 from repro.workloads.reporting import format_table
 from repro.workloads.sweeps import PAPER_PARAMETER_GRID
+
+#: Session name the CLI hosts its engine under (one graph per invocation).
+CLI_SESSION = "cli"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Top-L most influential community detection over social networks",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (service schema v1)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print Table-II style statistics of a graph")
     stats.add_argument("graph", help="graph JSON produced by `repro generate`")
+    stats.add_argument(
+        "--index",
+        default=None,
+        help="also load this pre-built index and print the engine diagnostics "
+        "(backend, epoch, index schema version)",
+    )
 
     build_index = subparsers.add_parser(
         "build-index", help="run the offline phase and save the index"
@@ -143,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--out-index", default=None, help="write the refreshed index JSON here")
     update.add_argument("--out-script", default=None,
                         help="write the (possibly generated) edit script here")
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="serve the versioned HTTP API (POST /v1/{build,topl,dtopl,update,batch})",
+    )
+    gateway.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="optionally pre-load this graph JSON as the 'default' session "
+        "(omit to start empty; clients create sessions via POST /v1/build)",
+    )
+    gateway.add_argument("--index", default=None, help="optional pre-built index JSON")
+    _add_backend_argument(gateway)
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8344)
+    gateway.add_argument(
+        "--session",
+        default="default",
+        help="session name the pre-loaded graph is hosted under",
+    )
 
     return parser
 
@@ -240,72 +288,111 @@ def _command_stats(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
     row = compute_statistics(graph).as_row()
     print(format_table([row], title="graph statistics"))
+    if args.index:
+        # One diagnostics document, shared with the gateway's /v1/health:
+        # both are InfluentialCommunityEngine.describe() verbatim.  The
+        # graph travels inline — it is already loaded for the stats table.
+        from repro.graph.io import graph_to_dict
+
+        service = CommunityService()
+        service.build(
+            BuildRequest(
+                session=CLI_SESSION,
+                graph=graph_to_dict(graph),
+                index_path=args.index,
+            )
+        )
+        describe = service.engine(CLI_SESSION).describe()
+        print("engine diagnostics:")
+        print(json.dumps(describe, indent=2, default=str))
     return 0
 
 
 def _command_build_index(args: argparse.Namespace) -> int:
-    graph = load_graph_json(args.graph)
-    thresholds = tuple(float(token) for token in args.thresholds.split(",") if token)
-    config = EngineConfig(
-        max_radius=args.max_radius,
-        thresholds=thresholds,
-        fanout=args.fanout,
-        leaf_capacity=args.leaf_capacity,
-        backend=getattr(args, "backend", "reference"),
+    thresholds = [float(token) for token in args.thresholds.split(",") if token]
+    service = CommunityService()
+    response = service.build(
+        BuildRequest(
+            session=CLI_SESSION,
+            graph_path=args.graph,
+            save_index_path=args.out,
+            config={
+                "max_radius": args.max_radius,
+                "thresholds": thresholds,
+                "fanout": args.fanout,
+                "leaf_capacity": args.leaf_capacity,
+                "backend": getattr(args, "backend", "reference"),
+            },
+        )
     )
-    started = time.perf_counter()
-    engine = InfluentialCommunityEngine.build(graph, config=config)
-    engine.save_index(args.out)
-    elapsed = time.perf_counter() - started
-    print(f"offline phase finished in {elapsed:.2f}s; index: {engine.index.describe()}")
+    print(
+        f"offline phase finished in {response.elapsed_seconds:.2f}s; "
+        f"index: {response.engine['index']}"
+    )
     print(f"index saved to {args.out}")
     return 0
 
 
-def _load_engine(args: argparse.Namespace) -> InfluentialCommunityEngine:
-    graph = load_graph_json(args.graph)
-    backend = getattr(args, "backend", "reference")
-    if args.index:
-        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
-        if backend != engine.config.backend:
-            # A saved index carries no backend (the data is backend-agnostic);
-            # honour the flag for the online phase.
-            engine.config = replace(engine.config, backend=backend)
-        return engine
-    config_kwargs = {"backend": backend}
-    if hasattr(args, "radius"):
-        config_kwargs["max_radius"] = max(args.radius, 1)
-    return InfluentialCommunityEngine.build(graph, config=EngineConfig(**config_kwargs))
+def _build_session(
+    args: argparse.Namespace, serving_config: Optional[ServingConfig] = None
+) -> CommunityService:
+    """Build the CLI's service session from the subcommand arguments.
+
+    Routes through a :class:`BuildRequest`, exactly like a remote client:
+    a saved index wins over re-running the offline phase, and the backend
+    flag (plus a fresh build's ``max_radius``) travel as config overrides.
+    """
+    service = CommunityService(serving_config=serving_config)
+    config: dict = {"backend": getattr(args, "backend", "reference")}
+    if not args.index and hasattr(args, "radius"):
+        config["max_radius"] = max(args.radius, 1)
+    service.build(
+        BuildRequest(
+            session=CLI_SESSION,
+            graph_path=args.graph,
+            index_path=args.index or None,
+            config=config,
+        )
+    )
+    return service
 
 
-def _query_keywords(args: argparse.Namespace, engine: InfluentialCommunityEngine) -> frozenset:
+def _query_keywords(args: argparse.Namespace, service: CommunityService) -> frozenset:
     if args.keywords:
         return frozenset(token.strip() for token in args.keywords.split(",") if token.strip())
-    workload = QueryWorkload(engine.graph, rng=args.seed)
+    workload = QueryWorkload(service.engine(CLI_SESSION).graph, rng=args.seed)
     return workload.sample_keywords(args.num_keywords)
 
 
+def _summary_rows(communities) -> list[dict]:
+    return [community.summary() for community in communities]
+
+
 def _command_topl(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    keywords = _query_keywords(args, engine)
+    service = _build_session(args)
+    keywords = _query_keywords(args, service)
     query = make_topl_query(
         keywords, k=args.k, radius=args.radius, theta=args.theta, top_l=args.top_l
     )
-    started = time.perf_counter()
-    result = engine.topl(query)
-    elapsed = time.perf_counter() - started
+    response = service.topl(ToplRequest(query=query, session=CLI_SESSION))
     print(f"query keywords: {', '.join(sorted(keywords))}")
     print(
-        f"answered in {elapsed * 1000:.1f} ms — {len(result)} communities, "
-        f"{result.statistics.total_pruned} candidates pruned"
+        f"answered in {response.elapsed_seconds * 1000:.1f} ms — "
+        f"{len(response.communities)} communities, "
+        f"{response.statistics['total_pruned']} candidates pruned"
     )
-    print(format_table(result.summary_rows(), title="top-L most influential communities"))
+    print(
+        format_table(
+            _summary_rows(response.communities),
+            title="top-L most influential communities",
+        )
+    )
     return 0
 
 
 def _command_dtopl(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    keywords = _query_keywords(args, engine)
+    service = _build_session(args)
+    keywords = _query_keywords(args, service)
     query = make_dtopl_query(
         keywords,
         k=args.k,
@@ -314,31 +401,31 @@ def _command_dtopl(args: argparse.Namespace) -> int:
         top_l=args.top_l,
         candidate_factor=args.candidate_factor,
     )
-    started = time.perf_counter()
-    result = engine.dtopl(query)
-    elapsed = time.perf_counter() - started
+    response = service.dtopl(DToplRequest(query=query, session=CLI_SESSION))
     print(f"query keywords: {', '.join(sorted(keywords))}")
     print(
-        f"answered in {elapsed * 1000:.1f} ms — diversity score {result.diversity_score:.2f}, "
-        f"{result.increment_evaluations} marginal-gain evaluations"
+        f"answered in {response.elapsed_seconds * 1000:.1f} ms — "
+        f"diversity score {response.diversity_score:.2f}, "
+        f"{response.increment_evaluations} marginal-gain evaluations"
     )
-    print(format_table(result.summary_rows(), title="diversified top-L communities"))
+    print(
+        format_table(
+            _summary_rows(response.communities), title="diversified top-L communities"
+        )
+    )
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    graph = load_graph_json(args.graph)
-    if args.index:
-        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
-    else:
-        engine = InfluentialCommunityEngine.build(graph)
-    workload = QueryWorkload(graph, rng=args.seed)
-    # Sweep steps share one serving engine: overlapping candidate centres
-    # across settings hit the propagation cache exactly like production
-    # traffic with recurring query shapes.  The whole-result cache stays off —
-    # settings that clamp to the same effective query must still execute, or a
-    # row would report the previous setting's timing and pruning counters.
-    serving = engine.serve(result_cache_capacity=0)
+    # Sweep steps share one session serving engine: overlapping candidate
+    # centres across settings hit the propagation cache exactly like
+    # production traffic with recurring query shapes.  The whole-result cache
+    # stays off — settings that clamp to the same effective query must still
+    # execute, or a row would report the previous setting's timing and
+    # pruning counters.
+    service = _build_session(args, serving_config=ServingConfig(result_cache_capacity=0))
+    engine = service.engine(CLI_SESSION)
+    workload = QueryWorkload(engine.graph, rng=args.seed)
     rows = []
     for setting in PAPER_PARAMETER_GRID.sweep(args.parameter):
         radius = min(setting["radius"], engine.index.max_radius)
@@ -350,7 +437,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             top_l=setting["top_l"],
         )
         started = time.perf_counter()
-        result = serving.answer(query)
+        result = service.answer_one(CLI_SESSION, query)
         rows.append(
             {
                 args.parameter: setting["swept_value"],
@@ -360,7 +447,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title=f"sweep over {args.parameter}"))
-    cache_stats = serving.cache_statistics()["propagation_cache"]
+    cache_stats = service.serving(CLI_SESSION).cache_statistics()["propagation_cache"]
     print(
         f"propagation cache: {cache_stats['hits']} hits / "
         f"{cache_stats['lookups']} lookups"
@@ -403,40 +490,59 @@ def _mixed_batch(args: argparse.Namespace, workload: QueryWorkload) -> list:
     return queries
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    workload = QueryWorkload(engine.graph, rng=args.seed)
-    queries = _mixed_batch(args, workload)
+def _serving_config_from_args(args: argparse.Namespace) -> ServingConfig:
+    from repro.serve.batch import (
+        DEFAULT_PROPAGATION_CACHE_CAPACITY,
+        DEFAULT_RESULT_CACHE_CAPACITY,
+    )
+
     result_cache = 0 if args.no_cache else args.result_cache
     propagation_cache = 0 if args.no_cache else args.propagation_cache
-    serving = engine.serve(
+    return ServingConfig(
         workers=args.workers,
-        result_cache_capacity=result_cache,
-        propagation_cache_capacity=propagation_cache,
+        result_cache_capacity=(
+            DEFAULT_RESULT_CACHE_CAPACITY if result_cache is None else result_cache
+        ),
+        propagation_cache_capacity=(
+            DEFAULT_PROPAGATION_CACHE_CAPACITY
+            if propagation_cache is None
+            else propagation_cache
+        ),
         start_method=args.start_method,
     )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    service = _build_session(args, serving_config=_serving_config_from_args(args))
+    engine = service.engine(CLI_SESSION)
+    workload = QueryWorkload(engine.graph, rng=args.seed)
+    queries = _mixed_batch(args, workload)
     rows = []
     for round_number in range(1, max(args.repeat, 1) + 1):
-        batch = serving.run(queries)
-        statistics = batch.statistics
+        response = service.batch(
+            BatchRequest(
+                session=CLI_SESSION, queries=tuple(queries), workers=args.workers
+            )
+        )
+        statistics = response.statistics
         rows.append(
             {
                 "round": round_number,
-                "queries": statistics.total_queries,
-                "mode": statistics.mode,
-                "workers": statistics.workers,
-                "wall_clock_s": round(statistics.elapsed_seconds, 4),
-                "qps": round(statistics.queries_per_second, 2),
-                "cache_hits": statistics.result_cache_hits,
+                "queries": statistics["total_queries"],
+                "mode": statistics["mode"],
+                "workers": statistics["workers"],
+                "wall_clock_s": round(statistics["elapsed_seconds"], 4),
+                "qps": round(statistics["queries_per_second"], 2),
+                "cache_hits": statistics["result_cache_hits"],
                 # Propagation hits are counted inside the executing process,
                 # so parallel rounds report the workers' caches here even
                 # though the parent-side totals below stay at zero.
-                "prop_hits": statistics.propagation_cache_hits,
-                "executed": statistics.executed,
+                "prop_hits": statistics["propagation_cache_hits"],
+                "executed": statistics["executed"],
             }
         )
     print(format_table(rows, title="batch serving throughput"))
-    cache_statistics = serving.cache_statistics()
+    cache_statistics = service.serving(CLI_SESSION).cache_statistics()
     for cache_name, payload in cache_statistics.items():
         print(
             f"{cache_name}: {payload['hits']} hits / {payload['lookups']} lookups "
@@ -488,42 +594,85 @@ def _command_update(args: argparse.Namespace) -> int:
         batch.save(args.out_script)
         print(f"edit script ({len(batch)} edits) written to {args.out_script}")
 
-    if args.index:
-        engine = InfluentialCommunityEngine.from_saved_index(graph, args.index)
-    else:
-        engine = InfluentialCommunityEngine.build(graph)
+    from repro.graph.io import graph_to_dict
+
+    # The graph is already loaded above (script validation); ship it inline
+    # instead of making the facade parse the same file a second time.
+    service = CommunityService()
+    service.build(
+        BuildRequest(
+            session=CLI_SESSION,
+            graph=graph_to_dict(graph),
+            index_path=args.index or None,
+        )
+    )
 
     # max(..., 1) keeps range()'s step legal when the script is empty.
     chunk = max(len(batch), 1) if args.batch_size is None else max(args.batch_size, 1)
     rows = []
     for start in range(0, len(batch), chunk):
-        report = engine.apply_updates(
-            UpdateBatch(batch[start:start + chunk]),
-            damage_threshold=args.damage_threshold,
+        response = service.update(
+            UpdateRequest(
+                session=CLI_SESSION,
+                edits=tuple(batch[start:start + chunk]),
+                damage_threshold=args.damage_threshold,
+            )
         )
+        report = response.report
         rows.append(
             {
                 "edits": f"{start}..{min(start + chunk, len(batch)) - 1}",
-                "mode": report.mode,
-                "affected": report.affected_vertices,
-                "damage": round(report.damage_ratio, 3),
-                "truss_changed": report.truss_changed_edges,
-                "new_vertices": report.new_vertices,
-                "wall_clock_s": round(report.elapsed_seconds, 4),
+                "mode": report["mode"],
+                "affected": report["affected_vertices"],
+                "damage": round(report["damage_ratio"], 3),
+                "truss_changed": report["truss_changed_edges"],
+                "new_vertices": report["new_vertices"],
+                "wall_clock_s": round(report["elapsed_seconds"], 4),
             }
         )
     if rows:
         print(format_table(rows, title="dynamic update replay"))
+    engine = service.engine(CLI_SESSION)
     print(
-        f"graph after replay: |V| = {graph.num_vertices()}, |E| = {graph.num_edges()} "
-        f"(epoch {engine.epoch})"
+        f"graph after replay: |V| = {engine.graph.num_vertices()}, "
+        f"|E| = {engine.graph.num_edges()} (epoch {engine.epoch})"
     )
     if args.out_graph:
-        save_graph_json(graph, args.out_graph)
+        save_graph_json(engine.graph, args.out_graph)
         print(f"mutated graph written to {args.out_graph}")
     if args.out_index:
         engine.save_index(args.out_index)
         print(f"refreshed index written to {args.out_index}")
+    return 0
+
+
+def _command_gateway(args: argparse.Namespace) -> int:
+    from repro.service.gateway import ServiceGateway
+
+    service = CommunityService()
+    if args.graph:
+        response = service.build(
+            BuildRequest(
+                session=args.session,
+                graph_path=args.graph,
+                index_path=args.index or None,
+                config={"backend": getattr(args, "backend", "reference")},
+            )
+        )
+        graph_info = response.engine["graph"]
+        print(
+            f"session {args.session!r}: |V| = {graph_info['num_vertices']}, "
+            f"|E| = {graph_info['num_edges']} "
+            f"(backend {response.engine['backend']})"
+        )
+    gateway = ServiceGateway(service, host=args.host, port=args.port)
+    print(f"serving the v1 API on {gateway.url} (Ctrl-C to stop)")
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    finally:
+        gateway.close()
     return 0
 
 
@@ -537,6 +686,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "batch": _command_serve,
     "update": _command_update,
+    "gateway": _command_gateway,
 }
 
 

@@ -19,6 +19,7 @@ Example
 from __future__ import annotations
 
 import time
+import warnings
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
@@ -416,9 +417,19 @@ class InfluentialCommunityEngine:
     ) -> list[TopLResult]:
         """Answer many TopL-ICDE queries (order-stable); a one-shot batch.
 
-        Build one serving engine via :meth:`serve` instead when running
-        several batches — its caches persist across calls.
+        .. deprecated::
+            Route batches through :class:`repro.service.CommunityService`
+            (adopt the engine as a session and issue a
+            :class:`~repro.service.schema.BatchRequest`); session serving
+            keeps caches warm across batches, which a one-shot cannot.
         """
+        warnings.warn(
+            "InfluentialCommunityEngine.topl_many() is deprecated; adopt the "
+            "engine into a repro.service.CommunityService session and issue a "
+            "BatchRequest instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return list(self.serve(workers=workers, pruning=pruning).run(queries))
 
     def dtopl_many(
@@ -427,7 +438,19 @@ class InfluentialCommunityEngine:
         workers: int = 1,
         pruning: Optional[PruningConfig] = None,
     ) -> list[DTopLResult]:
-        """Answer many DTopL-ICDE queries (order-stable); a one-shot batch."""
+        """Answer many DTopL-ICDE queries (order-stable); a one-shot batch.
+
+        .. deprecated::
+            Route batches through :class:`repro.service.CommunityService`,
+            as with :meth:`topl_many`.
+        """
+        warnings.warn(
+            "InfluentialCommunityEngine.dtopl_many() is deprecated; adopt the "
+            "engine into a repro.service.CommunityService session and issue a "
+            "BatchRequest instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return list(self.serve(workers=workers, pruning=pruning).run(queries))
 
     # ------------------------------------------------------------------ #
@@ -449,8 +472,20 @@ class InfluentialCommunityEngine:
         return kcore_community(self.graph, center, k, theta)
 
     def describe(self) -> dict:
-        """Return a summary of the engine (graph size, index shape, configuration)."""
+        """Return a summary of the engine (graph size, index shape, configuration).
+
+        Besides the graph/index/config shapes this carries the diagnostics a
+        serving operator needs: the active ``backend``, the dynamic-update
+        ``epoch`` (cache generation), and the ``index_schema_version`` the
+        process persists indexes with.  ``repro stats --index`` and the
+        gateway's ``/v1/health`` both surface this document verbatim.
+        """
+        from repro.index.serialization import INDEX_FORMAT_VERSION
+
         return {
+            "backend": self.config.backend,
+            "epoch": self.epoch,
+            "index_schema_version": INDEX_FORMAT_VERSION,
             "graph": {
                 "name": self.graph.name,
                 "num_vertices": self.graph.num_vertices(),

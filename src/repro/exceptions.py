@@ -76,3 +76,44 @@ class DynamicUpdateError(ReproError):
     script against the current graph before anything is mutated: a failing
     script leaves the engine untouched.
     """
+
+
+class ServiceRequestError(ReproError):
+    """Raised when a request is rejected at the service API boundary.
+
+    Subclasses distinguish *why* the boundary rejected it; each maps to a
+    stable wire error code (see :mod:`repro.service.errors`).
+    """
+
+
+class MalformedRequestError(ServiceRequestError):
+    """Raised when a request document cannot be parsed or fails validation."""
+
+
+class UnsupportedSchemaVersionError(ServiceRequestError):
+    """Raised when a request carries a ``schema_version`` this build cannot serve."""
+
+    def __init__(self, version: object, supported: int) -> None:
+        super().__init__(
+            f"unsupported schema_version {version!r}; this build speaks {supported}"
+        )
+        self.version = version
+        self.supported = supported
+
+
+class UnknownSessionError(ServiceRequestError):
+    """Raised when a request names a session the service does not host."""
+
+    def __init__(self, session: str) -> None:
+        super().__init__(f"unknown session {session!r}")
+        self.session = session
+
+
+class SessionExistsError(ServiceRequestError):
+    """Raised when a build would overwrite an existing session without ``replace``."""
+
+    def __init__(self, session: str) -> None:
+        super().__init__(
+            f"session {session!r} already exists (pass replace=true to rebuild it)"
+        )
+        self.session = session

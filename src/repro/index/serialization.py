@@ -23,6 +23,12 @@ PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
 
+#: Public alias of the on-disk index format version; surfaced by
+#: :meth:`repro.core.engine.InfluentialCommunityEngine.describe` and the
+#: service ``/v1/health`` endpoint so operators can see which index schema
+#: a running process writes.
+INDEX_FORMAT_VERSION = _FORMAT_VERSION
+
 
 def _vertex_to_token(vertex) -> list:
     """Encode a vertex id with its type so ints and strings round-trip."""

@@ -273,6 +273,18 @@ class BatchQueryEngine:
         Pruning rules applied to every query; ``None`` means the full stack.
     """
 
+    @classmethod
+    def for_session(cls, service, session: str = "default") -> "BatchQueryEngine":
+        """The serving engine behind a :class:`~repro.service.facade.CommunityService` session.
+
+        The preferred binding for serving workers: a session *name* instead
+        of an engine object, so the worker sees whatever engine the service
+        currently hosts under that name (rebuilds included).  Returns the
+        session's persistent serving engine — caches are shared with every
+        other consumer of the session.
+        """
+        return service.serving(session)
+
     def __init__(
         self,
         engine,

@@ -1,0 +1,329 @@
+"""HTTP gateway: the service API over the wire, stdlib only.
+
+A :class:`ServiceGateway` exposes a :class:`~repro.service.facade.CommunityService`
+through ``http.server.ThreadingHTTPServer``:
+
+================================  =============================================
+endpoint                          request / response document
+================================  =============================================
+``POST /v1/build``                :class:`~repro.service.schema.BuildRequest`
+``POST /v1/topl``                 :class:`~repro.service.schema.ToplRequest`
+``POST /v1/dtopl``                :class:`~repro.service.schema.DToplRequest`
+``POST /v1/update``               :class:`~repro.service.schema.UpdateRequest`
+``POST /v1/batch``                :class:`~repro.service.schema.BatchRequest`
+``GET  /v1/sessions``             :class:`~repro.service.schema.SessionsResponse`
+``GET  /v1/health``               :class:`~repro.service.schema.HealthResponse`
+================================  =============================================
+
+Success responses are ``application/json``.  Errors are
+:class:`~repro.service.schema.ErrorResponse` documents whose HTTP status
+comes from the structured error code (404 for ``UNKNOWN_SESSION``, 422 for
+``QUERY_PARAMETER_INVALID``, ...), so remote clients can branch on either.
+
+``POST /v1/batch?stream=1`` (or ``Accept: application/x-ndjson``) switches
+the batch endpoint to **NDJSON streaming**: one ``{"kind": "result"}`` line
+per query — written and flushed as each query completes, so a slow batch
+yields results incrementally — followed by one ``{"kind": "summary"}``
+envelope line.  Streamed queries route through the session's serving engine
+one at a time and therefore share the same epoch-tagged caches as the
+buffered path.
+
+See ``docs/service.md`` for a curl walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlparse
+
+from repro.exceptions import MalformedRequestError
+from repro.service.errors import ServiceError, service_error_from_exception
+from repro.service.facade import CommunityService
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    ErrorResponse,
+    result_to_wire,
+)
+
+#: Largest request body the gateway will read, in bytes (64 MiB).  Inline
+#: graph documents are the only legitimately large payloads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_POST_ENDPOINTS = ("build", "topl", "dtopl", "update", "batch")
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the facade; one instance per request."""
+
+    server_version = "repro-gateway"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass carries the facade.
+    @property
+    def service(self) -> CommunityService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # GET
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path.rstrip("/")
+        if path == "/v1/health":
+            self._send_json(200, self.service.health().to_json())
+        elif path == "/v1/sessions":
+            self._send_json(200, self.service.sessions().to_json())
+        else:
+            self._send_error_document(
+                404, ServiceError(code="NOT_FOUND", message=f"no route for GET {path}")
+            )
+
+    # ------------------------------------------------------------------ #
+    # POST
+    # ------------------------------------------------------------------ #
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/")
+        if not path.startswith("/v1/"):
+            self._send_error_document(
+                404, ServiceError(code="NOT_FOUND", message=f"no route for POST {path}")
+            )
+            return
+        endpoint = path[len("/v1/"):]
+        if endpoint not in _POST_ENDPOINTS:
+            self._send_error_document(
+                404,
+                ServiceError(
+                    code="NOT_FOUND",
+                    message=f"unknown endpoint {endpoint!r}; "
+                    f"expected one of {list(_POST_ENDPOINTS)}",
+                ),
+            )
+            return
+        try:
+            payload = self._read_json_body()
+        except MalformedRequestError as error:
+            failure = ErrorResponse(error=service_error_from_exception(error))
+            self._send_json(failure.error.http_status, failure.to_json())
+            return
+
+        if endpoint == "batch" and self._wants_stream(parsed.query):
+            self._stream_batch(payload)
+            return
+
+        document, failure = self.service.handle_json(endpoint, payload)
+        status = failure.error.http_status if failure is not None else 200
+        self._send_json(status, document)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        self._method_not_allowed()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._method_not_allowed()
+
+    def _method_not_allowed(self) -> None:
+        self._send_error_document(
+            405,
+            ServiceError(
+                code="METHOD_NOT_ALLOWED",
+                message=f"{self.command} is not supported; use GET or POST",
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # NDJSON streaming for batches
+    # ------------------------------------------------------------------ #
+    def _wants_stream(self, query_string: str) -> bool:
+        if "stream=1" in (query_string or "").split("&"):
+            return True
+        return "application/x-ndjson" in self.headers.get("Accept", "")
+
+    def _stream_batch(self, payload) -> None:
+        """Answer a batch as NDJSON: results stream as they are computed."""
+        import time
+
+        try:
+            request = BatchRequest.from_json(payload)
+            if request.pruning is not None:
+                raise MalformedRequestError(
+                    "pruning overrides are not supported on the streaming batch path"
+                )
+            engine = self.service.engine(request.session)
+        except Exception as error:  # rejected before the stream started
+            failure = ErrorResponse(error=service_error_from_exception(error))
+            self._send_json(failure.error.http_status, failure.to_json())
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Chunked framing would need hand-rolled encoding under HTTP/1.1;
+        # closing the connection delimits the stream instead.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        started = time.perf_counter()
+        answered = 0
+        try:
+            for position, query in enumerate(request.queries):
+                result = self.service.answer_one(request.session, query)
+                line = {
+                    "kind": "result",
+                    "position": position,
+                    "result": result_to_wire(result),
+                }
+                self._write_ndjson_line(line)
+                answered += 1
+            summary = {
+                "kind": "summary",
+                "schema_version": SCHEMA_VERSION,
+                "api_version": self.service.api_version,
+                "session": request.session,
+                "epoch": engine.epoch,
+                "total_queries": len(request.queries),
+                "answered": answered,
+                "elapsed_seconds": time.perf_counter() - started,
+                "cache_statistics": self.service.serving(
+                    request.session
+                ).cache_statistics(),
+            }
+            self._write_ndjson_line(summary)
+        except Exception as error:
+            # Mid-stream failure: the HTTP status is already 200, so the
+            # error travels as a terminal NDJSON line.
+            failure = ErrorResponse(error=service_error_from_exception(error))
+            line = failure.to_json()
+            line["kind"] = "error"
+            self._write_ndjson_line(line)
+
+    def _write_ndjson_line(self, document: dict) -> None:
+        self.wfile.write(json.dumps(document).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _read_json_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise MalformedRequestError("invalid Content-Length header") from None
+        if length <= 0:
+            raise MalformedRequestError("request body is required")
+        if length > MAX_BODY_BYTES:
+            raise MalformedRequestError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MalformedRequestError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_document(self, status: int, error: ServiceError) -> None:
+        self._send_json(status, ErrorResponse(error=error).to_json())
+
+
+class ServiceGateway:
+    """A running HTTP gateway over one :class:`CommunityService`.
+
+    Usable as a context manager (the test-suite's shape) or via
+    :meth:`serve_forever` (the CLI's shape)::
+
+        with ServiceGateway(service, port=0) as gateway:
+            urllib.request.urlopen(gateway.url + "/v1/health")
+    """
+
+    def __init__(
+        self,
+        service: Optional[CommunityService] = None,
+        host: str = "127.0.0.1",
+        port: int = 8344,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service if service is not None else CommunityService()
+        self._server = ThreadingHTTPServer((host, port), _GatewayHandler)
+        self._server.service = self.service
+        self._server.verbose = verbose
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an OS-assigned one)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the gateway, e.g. ``http://127.0.0.1:8344``."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceGateway":
+        """Serve from a daemon thread (returns immediately)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="repro-gateway", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the port."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def close(self) -> None:
+        """Release the port after :meth:`serve_forever` has returned.
+
+        Foreground callers cannot use :meth:`shutdown` (it must be called
+        from another thread while ``serve_forever`` blocks); once
+        ``serve_forever`` exits — typically via ``KeyboardInterrupt`` — this
+        closes the listening socket.
+        """
+        self._server.server_close()
+
+    def __enter__(self) -> "ServiceGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def run_gateway(
+    service: Optional[CommunityService] = None,
+    host: str = "127.0.0.1",
+    port: int = 8344,
+    verbose: bool = False,
+) -> None:
+    """Run a gateway in the foreground (what ``repro gateway`` calls)."""
+    gateway = ServiceGateway(service, host=host, port=port, verbose=verbose)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        gateway.close()

@@ -1,0 +1,875 @@
+"""The wire schema: typed, versioned request/response documents.
+
+Every request and response of the service API is a frozen dataclass with a
+strict ``to_json()`` / ``from_json()`` codec pair:
+
+* **versioned** — every document carries ``schema_version``; a request with
+  a version this build does not speak is rejected with
+  ``UNSUPPORTED_SCHEMA_VERSION`` before any field is interpreted.
+* **strict** — unknown fields, missing fields and wrong types raise
+  :class:`~repro.exceptions.MalformedRequestError` (wire code
+  ``MALFORMED_REQUEST``); domain validation (e.g. ``theta`` out of range)
+  re-uses the library's own validators, so the wire layer can never accept
+  a query the engine would reject.
+* **lossless** — queries and results round-trip exactly.  Floats survive
+  JSON bit-identically (Python serialises them via ``repr`` round-trip),
+  and per-vertex ``cpp`` maps travel as sorted ``[vertex, value]`` pairs so
+  int and str vertex ids stay distinguishable (JSON object keys would
+  force both to strings).
+
+Responses are *envelopes*: besides their payload they carry the schema
+version, the serving build's ``api_version``, the session name, the
+engine's :attr:`~repro.core.engine.InfluentialCommunityEngine.epoch` and
+wall-clock timing, so a remote client can reason about cache freshness the
+same way the in-process serving layer does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro._version import __version__ as _API_VERSION
+from repro.exceptions import (
+    MalformedRequestError,
+    UnsupportedSchemaVersionError,
+)
+from repro.query.params import DTopLQuery, TopLQuery
+from repro.query.results import DTopLResult, SeedCommunity, TopLResult
+from repro.influence.propagation import InfluencedCommunity
+from repro.service.errors import ServiceError
+
+#: The wire schema version this build speaks.  Bump on any breaking change
+#: to a request or response document; additive optional fields do not bump.
+SCHEMA_VERSION = 1
+
+_MISSING = object()
+
+
+# --------------------------------------------------------------------------- #
+# strict decoding helpers
+# --------------------------------------------------------------------------- #
+def _require_object(payload, what: str) -> dict:
+    if not isinstance(payload, dict):
+        raise MalformedRequestError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_schema_version(payload: dict, what: str) -> None:
+    version = payload.get("schema_version", _MISSING)
+    if version is _MISSING:
+        raise MalformedRequestError(f"{what} is missing 'schema_version'")
+    # isinstance check first: bool == 1 in Python, and `true` must not
+    # silently pass as version 1 (the codec rejects bool-as-int everywhere).
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise MalformedRequestError(
+            f"{what}.schema_version must be an integer, got {version!r}"
+        )
+    if version != SCHEMA_VERSION:
+        raise UnsupportedSchemaVersionError(version, SCHEMA_VERSION)
+
+
+def _reject_unknown(payload: dict, allowed: Sequence[str], what: str) -> None:
+    unknown = set(payload) - set(allowed)
+    if unknown:
+        raise MalformedRequestError(
+            f"{what} carries unknown fields {sorted(unknown)}"
+        )
+
+
+def _field(payload: dict, name: str, types, what: str, default=_MISSING):
+    value = payload.get(name, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise MalformedRequestError(f"{what} is missing field {name!r}")
+        return default
+    if types is None:
+        return value
+    expected = types if isinstance(types, tuple) else (types,)
+    # bool is an int subclass; never accept it where a number is expected.
+    if bool not in expected and isinstance(value, bool):
+        raise MalformedRequestError(
+            f"{what}.{name} must not be a boolean, got {value!r}"
+        )
+    if not isinstance(value, types):
+        raise MalformedRequestError(
+            f"{what}.{name} has the wrong type: "
+            f"expected {'/'.join(t.__name__ for t in expected)}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _vertex_ok(value, what: str):
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise MalformedRequestError(
+            f"{what}: vertex ids must be ints or strings, got {value!r}"
+        )
+    return value
+
+
+def _sorted_vertices(vertices) -> list:
+    """Deterministic vertex ordering for wire documents (mixed int/str safe)."""
+    return sorted(vertices, key=repr)
+
+
+# --------------------------------------------------------------------------- #
+# queries on the wire
+# --------------------------------------------------------------------------- #
+def query_to_wire(query: Union[TopLQuery, DTopLQuery]) -> dict:
+    """Serialise a TopL/DTopL query into its wire form (lossless)."""
+    if isinstance(query, DTopLQuery):
+        wire = query_to_wire(query.base)
+        wire["type"] = "dtopl"
+        wire["candidate_factor"] = query.candidate_factor
+        return wire
+    if not isinstance(query, TopLQuery):
+        raise MalformedRequestError(
+            f"expected a TopLQuery or DTopLQuery, got {type(query).__name__}"
+        )
+    return {
+        "type": "topl",
+        "keywords": sorted(query.keywords),
+        "k": query.k,
+        "radius": query.radius,
+        "theta": query.theta,
+        "top_l": query.top_l,
+    }
+
+
+def query_from_wire(payload) -> Union[TopLQuery, DTopLQuery]:
+    """Parse a query wire document; domain validation runs in the dataclass.
+
+    Out-of-range parameters therefore raise
+    :class:`~repro.exceptions.QueryParameterError` exactly as a direct
+    constructor call would — the wire layer adds no second validator that
+    could drift.
+    """
+    payload = _require_object(payload, "query")
+    kind = _field(payload, "type", str, "query")
+    if kind not in ("topl", "dtopl"):
+        raise MalformedRequestError(f"query.type must be 'topl' or 'dtopl', got {kind!r}")
+    allowed = ["type", "keywords", "k", "radius", "theta", "top_l"]
+    if kind == "dtopl":
+        allowed.append("candidate_factor")
+    _reject_unknown(payload, allowed, "query")
+    keywords = _field(payload, "keywords", list, "query")
+    for keyword in keywords:
+        if not isinstance(keyword, str):
+            raise MalformedRequestError(
+                f"query.keywords must be strings, got {keyword!r}"
+            )
+    base = TopLQuery(
+        keywords=frozenset(keywords),
+        k=_field(payload, "k", int, "query"),
+        radius=_field(payload, "radius", int, "query"),
+        theta=float(_field(payload, "theta", (int, float), "query")),
+        top_l=_field(payload, "top_l", int, "query"),
+    )
+    if kind == "topl":
+        return base
+    return DTopLQuery(
+        base=base,
+        candidate_factor=_field(payload, "candidate_factor", int, "query", default=3),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# results on the wire
+# --------------------------------------------------------------------------- #
+def community_to_wire(community: SeedCommunity) -> dict:
+    """Serialise one seed community, including its full ``cpp`` map.
+
+    Carrying the per-vertex propagation probabilities (not just the score)
+    makes the wire form *complete*: two results are equal iff their wire
+    forms are equal, which is what the service-vs-direct equivalence suite
+    asserts.  The ``cpp`` pairs keep the engine's discovery order — the
+    influential score is a float sum over them, and preserving summation
+    order is what makes a decode/encode round trip bit-identical.
+    """
+    return {
+        "center": community.center,
+        "vertices": _sorted_vertices(community.vertices),
+        "k": community.k,
+        "radius": community.radius,
+        "score": community.score,
+        "threshold": community.influenced.threshold,
+        "cpp": [
+            [vertex, value] for vertex, value in community.influenced.cpp.items()
+        ],
+    }
+
+
+def community_from_wire(payload) -> SeedCommunity:
+    """Rebuild a :class:`SeedCommunity` from its wire form."""
+    payload = _require_object(payload, "community")
+    _reject_unknown(
+        payload,
+        ["center", "vertices", "k", "radius", "score", "threshold", "cpp"],
+        "community",
+    )
+    vertices = frozenset(
+        _vertex_ok(v, "community.vertices")
+        for v in _field(payload, "vertices", list, "community")
+    )
+    cpp = {}
+    for pair in _field(payload, "cpp", list, "community"):
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise MalformedRequestError(
+                f"community.cpp entries must be [vertex, value] pairs, got {pair!r}"
+            )
+        vertex, value = pair
+        cpp[_vertex_ok(vertex, "community.cpp")] = float(value)
+    influenced = InfluencedCommunity(
+        seed_vertices=vertices,
+        cpp=cpp,
+        threshold=float(_field(payload, "threshold", (int, float), "community")),
+    )
+    return SeedCommunity(
+        center=_vertex_ok(_field(payload, "center", (int, str), "community"), "community"),
+        vertices=vertices,
+        influenced=influenced,
+        k=_field(payload, "k", int, "community"),
+        radius=_field(payload, "radius", int, "community"),
+    )
+
+
+def result_to_wire(result: Union[TopLResult, DTopLResult]) -> dict:
+    """Serialise a query result (communities + execution statistics)."""
+    wire = {
+        "type": "dtopl" if isinstance(result, DTopLResult) else "topl",
+        "communities": [community_to_wire(c) for c in result.communities],
+        "statistics": result.statistics.as_dict(),
+    }
+    if isinstance(result, DTopLResult):
+        wire["diversity_score"] = result.diversity_score
+        wire["increment_evaluations"] = result.increment_evaluations
+        wire["candidates_considered"] = result.candidates_considered
+    return wire
+
+
+# --------------------------------------------------------------------------- #
+# envelope plumbing shared by every request / response
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _WireDocument:
+    """Shared ``to_json``/``from_json`` machinery for schema dataclasses.
+
+    Subclasses declare their payload in ``_WIRE_FIELDS``: a tuple of
+    ``(field_name, json_types_or_None, default_or_MISSING)`` rows consumed
+    by the generic strict decoder.  ``json_types_or_None`` of ``None``
+    skips the isinstance check (for fields with bespoke validation in
+    ``__post_init__`` / ``_decode_extra``).
+    """
+
+    def to_json(self) -> dict:
+        payload = {"schema_version": SCHEMA_VERSION}
+        for spec in self._WIRE_FIELDS:
+            name = spec[0]
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "_WireDocument":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        allowed = ["schema_version"] + [spec[0] for spec in cls._WIRE_FIELDS]
+        _reject_unknown(payload, allowed, what)
+        kwargs = {}
+        for name, types, default in cls._WIRE_FIELDS:
+            kwargs[name] = _field(payload, name, types, what, default=default)
+        return cls(**kwargs)
+
+
+def _session_field(payload: dict, what: str) -> str:
+    # Every request dataclass declares session="default"; the wire decoders
+    # honour the same default so the contract is uniform across endpoints.
+    session = _field(payload, "session", str, what, default="default")
+    if not session:
+        raise MalformedRequestError(f"{what}.session must be a non-empty string")
+    return session
+
+
+# --------------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BuildRequest(_WireDocument):
+    """Run the offline phase (or load a saved index) into a named session.
+
+    Exactly one of ``graph`` (an inline graph document, the
+    :func:`repro.graph.io.graph_to_dict` format) or ``graph_path`` (a graph
+    JSON on the server's filesystem) is required.  ``index_path`` loads a
+    previously saved index instead of re-running the offline phase;
+    ``save_index_path`` persists the built index.  ``config`` carries
+    :class:`~repro.core.config.EngineConfig` keyword arguments.
+    """
+
+    session: str = "default"
+    graph: Optional[dict] = None
+    graph_path: Optional[str] = None
+    index_path: Optional[str] = None
+    save_index_path: Optional[str] = None
+    config: Optional[dict] = None
+    validate: bool = True
+    replace: bool = False
+
+    _WIRE_FIELDS = (
+        ("session", str, "default"),
+        ("graph", dict, None),
+        ("graph_path", str, None),
+        ("index_path", str, None),
+        ("save_index_path", str, None),
+        ("config", dict, None),
+        ("validate", bool, True),
+        ("replace", bool, False),
+    )
+
+    def __post_init__(self) -> None:
+        if not self.session:
+            raise MalformedRequestError("BuildRequest.session must be non-empty")
+        if (self.graph is None) == (self.graph_path is None):
+            raise MalformedRequestError(
+                "BuildRequest requires exactly one of 'graph' or 'graph_path'"
+            )
+
+
+@dataclass(frozen=True)
+class ToplRequest(_WireDocument):
+    """Answer one TopL-ICDE query against a session."""
+
+    query: TopLQuery = None
+    session: str = "default"
+    pruning: Optional[dict] = None
+
+    _WIRE_FIELDS = (
+        ("session", str, "default"),
+        ("query", None, _MISSING),
+        ("pruning", dict, None),
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, TopLQuery) or isinstance(self.query, DTopLQuery):
+            raise MalformedRequestError("ToplRequest.query must be a TopLQuery")
+        _validate_pruning(self.pruning, "ToplRequest")
+
+    def to_json(self) -> dict:
+        payload = super().to_json()
+        payload["query"] = query_to_wire(self.query)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "ToplRequest":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(payload, ["schema_version", "session", "query", "pruning"], what)
+        query = query_from_wire(_field(payload, "query", dict, what))
+        if not isinstance(query, TopLQuery) or isinstance(query, DTopLQuery):
+            raise MalformedRequestError(f"{what}.query must have type 'topl'")
+        return cls(
+            session=_session_field(payload, what),
+            query=query,
+            pruning=_field(payload, "pruning", dict, what, default=None),
+        )
+
+
+@dataclass(frozen=True)
+class DToplRequest(_WireDocument):
+    """Answer one DTopL-ICDE query against a session."""
+
+    query: DTopLQuery = None
+    session: str = "default"
+    pruning: Optional[dict] = None
+
+    _WIRE_FIELDS = (
+        ("session", str, "default"),
+        ("query", None, _MISSING),
+        ("pruning", dict, None),
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, DTopLQuery):
+            raise MalformedRequestError("DToplRequest.query must be a DTopLQuery")
+        _validate_pruning(self.pruning, "DToplRequest")
+
+    def to_json(self) -> dict:
+        payload = super().to_json()
+        payload["query"] = query_to_wire(self.query)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "DToplRequest":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(payload, ["schema_version", "session", "query", "pruning"], what)
+        query = query_from_wire(_field(payload, "query", dict, what))
+        if not isinstance(query, DTopLQuery):
+            raise MalformedRequestError(f"{what}.query must have type 'dtopl'")
+        return cls(
+            session=_session_field(payload, what),
+            query=query,
+            pruning=_field(payload, "pruning", dict, what, default=None),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateRequest(_WireDocument):
+    """Apply an edge edit script to a session's graph and index.
+
+    ``edits`` is the edit-script document of ``docs/dynamic.md`` (or a bare
+    edit list); validation and sequential semantics are exactly those of
+    :class:`~repro.dynamic.updates.UpdateBatch`.
+    """
+
+    edits: tuple = ()
+    session: str = "default"
+    damage_threshold: Optional[float] = None
+    rebuild: bool = False
+
+    _WIRE_FIELDS = (
+        ("session", str, "default"),
+        ("edits", None, _MISSING),
+        ("damage_threshold", (int, float), None),
+        ("rebuild", bool, False),
+    )
+
+    def __post_init__(self) -> None:
+        from repro.dynamic.updates import EdgeUpdate
+
+        for edit in self.edits:
+            if not isinstance(edit, EdgeUpdate):
+                raise MalformedRequestError(
+                    f"UpdateRequest.edits must be EdgeUpdate objects, got {edit!r}"
+                )
+
+    def to_json(self) -> dict:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "session": self.session,
+            "edits": [edit.as_dict() for edit in self.edits],
+            "rebuild": self.rebuild,
+        }
+        if self.damage_threshold is not None:
+            payload["damage_threshold"] = self.damage_threshold
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "UpdateRequest":
+        from repro.dynamic.updates import UpdateBatch
+
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(
+            payload,
+            ["schema_version", "session", "edits", "damage_threshold", "rebuild"],
+            what,
+        )
+        edits = _field(payload, "edits", list, what)
+        batch = UpdateBatch.from_json(edits)
+        threshold = _field(payload, "damage_threshold", (int, float), what, default=None)
+        return cls(
+            session=_session_field(payload, what),
+            edits=tuple(batch),
+            damage_threshold=None if threshold is None else float(threshold),
+            rebuild=_field(payload, "rebuild", bool, what, default=False),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRequest(_WireDocument):
+    """Answer a mixed TopL/DTopL batch against a session (order-stable)."""
+
+    queries: tuple = ()
+    session: str = "default"
+    workers: Optional[int] = None
+    pruning: Optional[dict] = None
+
+    _WIRE_FIELDS = (
+        ("session", str, "default"),
+        ("queries", None, _MISSING),
+        ("workers", int, None),
+        ("pruning", dict, None),
+    )
+
+    def __post_init__(self) -> None:
+        for query in self.queries:
+            if not isinstance(query, (TopLQuery, DTopLQuery)):
+                raise MalformedRequestError(
+                    "BatchRequest.queries must be TopLQuery/DTopLQuery objects, "
+                    f"got {type(query).__name__}"
+                )
+        if self.workers is not None and self.workers < 1:
+            raise MalformedRequestError(
+                f"BatchRequest.workers must be >= 1, got {self.workers}"
+            )
+        _validate_pruning(self.pruning, "BatchRequest")
+
+    def to_json(self) -> dict:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "session": self.session,
+            "queries": [query_to_wire(query) for query in self.queries],
+        }
+        if self.workers is not None:
+            payload["workers"] = self.workers
+        if self.pruning is not None:
+            payload["pruning"] = self.pruning
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "BatchRequest":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(
+            payload, ["schema_version", "session", "queries", "workers", "pruning"], what
+        )
+        queries = _field(payload, "queries", list, what)
+        return cls(
+            session=_session_field(payload, what),
+            queries=tuple(query_from_wire(query) for query in queries),
+            workers=_field(payload, "workers", int, what, default=None),
+            pruning=_field(payload, "pruning", dict, what, default=None),
+        )
+
+
+def _validate_pruning(pruning: Optional[dict], what: str) -> None:
+    if pruning is None:
+        return
+    allowed = {"keyword", "support", "score"}
+    unknown = set(pruning) - allowed
+    if unknown:
+        raise MalformedRequestError(
+            f"{what}.pruning carries unknown rules {sorted(unknown)}"
+        )
+    for rule, value in pruning.items():
+        if not isinstance(value, bool):
+            raise MalformedRequestError(
+                f"{what}.pruning.{rule} must be a boolean, got {value!r}"
+            )
+
+
+#: Request type per endpoint name; the gateway and `decode_request` share it.
+REQUEST_TYPES = {
+    "build": BuildRequest,
+    "topl": ToplRequest,
+    "dtopl": DToplRequest,
+    "update": UpdateRequest,
+    "batch": BatchRequest,
+}
+
+
+def decode_request(endpoint: str, payload):
+    """Decode the request document of ``endpoint`` ('build', 'topl', ...)."""
+    try:
+        request_type = REQUEST_TYPES[endpoint]
+    except KeyError:
+        raise MalformedRequestError(
+            f"unknown endpoint {endpoint!r}; expected one of {sorted(REQUEST_TYPES)}"
+        ) from None
+    return request_type.from_json(payload)
+
+
+# --------------------------------------------------------------------------- #
+# responses
+# --------------------------------------------------------------------------- #
+def _envelope(session: str, epoch: int, elapsed_seconds: float) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "api_version": _API_VERSION,
+        "session": session,
+        "epoch": epoch,
+        "elapsed_seconds": elapsed_seconds,
+    }
+
+
+_ENVELOPE_FIELDS = ("schema_version", "api_version", "session", "epoch", "elapsed_seconds")
+
+
+def _decode_envelope(payload, what: str) -> dict:
+    payload = _require_object(payload, what)
+    _check_schema_version(payload, what)
+    return {
+        "session": _field(payload, "session", str, what),
+        "epoch": _field(payload, "epoch", int, what),
+        "elapsed_seconds": float(
+            _field(payload, "elapsed_seconds", (int, float), what)
+        ),
+        "api_version": _field(payload, "api_version", str, what),
+    }
+
+
+@dataclass(frozen=True)
+class _ResponseEnvelope:
+    """Fields every successful response carries."""
+
+    session: str
+    epoch: int
+    elapsed_seconds: float
+    api_version: str = _API_VERSION
+
+
+@dataclass(frozen=True)
+class BuildResponse(_ResponseEnvelope):
+    """What a build produced: the engine summary of the new session."""
+
+    engine: dict = field(default_factory=dict)
+    loaded_index: bool = False
+    saved_index_path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        payload = _envelope(self.session, self.epoch, self.elapsed_seconds)
+        payload["engine"] = self.engine
+        payload["loaded_index"] = self.loaded_index
+        if self.saved_index_path is not None:
+            payload["saved_index_path"] = self.saved_index_path
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "BuildResponse":
+        what = cls.__name__
+        envelope = _decode_envelope(payload, what)
+        _reject_unknown(
+            payload,
+            _ENVELOPE_FIELDS + ("engine", "loaded_index", "saved_index_path"),
+            what,
+        )
+        return cls(
+            engine=_field(payload, "engine", dict, what),
+            loaded_index=_field(payload, "loaded_index", bool, what, default=False),
+            saved_index_path=_field(payload, "saved_index_path", str, what, default=None),
+            **envelope,
+        )
+
+
+@dataclass(frozen=True)
+class ToplResponse(_ResponseEnvelope):
+    """A TopL-ICDE answer: communities (best first) + execution statistics."""
+
+    communities: tuple = ()
+    statistics: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = _envelope(self.session, self.epoch, self.elapsed_seconds)
+        payload["communities"] = [community_to_wire(c) for c in self.communities]
+        payload["statistics"] = self.statistics
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "ToplResponse":
+        what = cls.__name__
+        envelope = _decode_envelope(payload, what)
+        _reject_unknown(payload, _ENVELOPE_FIELDS + ("communities", "statistics"), what)
+        return cls(
+            communities=tuple(
+                community_from_wire(c)
+                for c in _field(payload, "communities", list, what)
+            ),
+            statistics=_field(payload, "statistics", dict, what),
+            **envelope,
+        )
+
+
+@dataclass(frozen=True)
+class DToplResponse(_ResponseEnvelope):
+    """A DTopL-ICDE answer: diversified communities + diversity metrics."""
+
+    communities: tuple = ()
+    diversity_score: float = 0.0
+    increment_evaluations: int = 0
+    candidates_considered: int = 0
+    statistics: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = _envelope(self.session, self.epoch, self.elapsed_seconds)
+        payload["communities"] = [community_to_wire(c) for c in self.communities]
+        payload["diversity_score"] = self.diversity_score
+        payload["increment_evaluations"] = self.increment_evaluations
+        payload["candidates_considered"] = self.candidates_considered
+        payload["statistics"] = self.statistics
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "DToplResponse":
+        what = cls.__name__
+        envelope = _decode_envelope(payload, what)
+        _reject_unknown(
+            payload,
+            _ENVELOPE_FIELDS
+            + (
+                "communities",
+                "diversity_score",
+                "increment_evaluations",
+                "candidates_considered",
+                "statistics",
+            ),
+            what,
+        )
+        return cls(
+            communities=tuple(
+                community_from_wire(c)
+                for c in _field(payload, "communities", list, what)
+            ),
+            diversity_score=float(
+                _field(payload, "diversity_score", (int, float), what)
+            ),
+            increment_evaluations=_field(payload, "increment_evaluations", int, what),
+            candidates_considered=_field(payload, "candidates_considered", int, what),
+            statistics=_field(payload, "statistics", dict, what),
+            **envelope,
+        )
+
+
+@dataclass(frozen=True)
+class UpdateResponse(_ResponseEnvelope):
+    """What an edit-script application did (mode, damage, timings)."""
+
+    report: dict = field(default_factory=dict)
+    graph: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = _envelope(self.session, self.epoch, self.elapsed_seconds)
+        payload["report"] = self.report
+        payload["graph"] = self.graph
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "UpdateResponse":
+        what = cls.__name__
+        envelope = _decode_envelope(payload, what)
+        _reject_unknown(payload, _ENVELOPE_FIELDS + ("report", "graph"), what)
+        return cls(
+            report=_field(payload, "report", dict, what),
+            graph=_field(payload, "graph", dict, what),
+            **envelope,
+        )
+
+
+@dataclass(frozen=True)
+class BatchResponse(_ResponseEnvelope):
+    """A batch answer: per-query results in input order + batch statistics."""
+
+    results: tuple = ()
+    statistics: dict = field(default_factory=dict)
+    cache_statistics: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = _envelope(self.session, self.epoch, self.elapsed_seconds)
+        payload["results"] = list(self.results)
+        payload["statistics"] = self.statistics
+        payload["cache_statistics"] = self.cache_statistics
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "BatchResponse":
+        what = cls.__name__
+        envelope = _decode_envelope(payload, what)
+        _reject_unknown(
+            payload,
+            _ENVELOPE_FIELDS + ("results", "statistics", "cache_statistics"),
+            what,
+        )
+        return cls(
+            results=tuple(_field(payload, "results", list, what)),
+            statistics=_field(payload, "statistics", dict, what),
+            cache_statistics=_field(payload, "cache_statistics", dict, what),
+            **envelope,
+        )
+
+
+@dataclass(frozen=True)
+class SessionsResponse:
+    """The sessions a service hosts (``GET /v1/sessions``)."""
+
+    sessions: tuple = ()
+    api_version: str = _API_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "api_version": self.api_version,
+            "sessions": list(self.sessions),
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "SessionsResponse":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(payload, ("schema_version", "api_version", "sessions"), what)
+        return cls(
+            sessions=tuple(_field(payload, "sessions", list, what)),
+            api_version=_field(payload, "api_version", str, what),
+        )
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Service liveness + per-session diagnostics (``GET /v1/health``)."""
+
+    status: str = "ok"
+    sessions: tuple = ()
+    api_version: str = _API_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "api_version": self.api_version,
+            "status": self.status,
+            "sessions": list(self.sessions),
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "HealthResponse":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(
+            payload, ("schema_version", "api_version", "status", "sessions"), what
+        )
+        return cls(
+            status=_field(payload, "status", str, what),
+            sessions=tuple(_field(payload, "sessions", list, what)),
+            api_version=_field(payload, "api_version", str, what),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """The error envelope: a structured :class:`ServiceError`, never a traceback."""
+
+    error: ServiceError
+    session: Optional[str] = None
+    api_version: str = _API_VERSION
+
+    def to_json(self) -> dict:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "api_version": self.api_version,
+            "error": self.error.to_json(),
+        }
+        if self.session is not None:
+            payload["session"] = self.session
+        return payload
+
+    @classmethod
+    def from_json(cls, payload) -> "ErrorResponse":
+        what = cls.__name__
+        payload = _require_object(payload, what)
+        _check_schema_version(payload, what)
+        _reject_unknown(
+            payload, ("schema_version", "api_version", "error", "session"), what
+        )
+        return cls(
+            error=ServiceError.from_json(_field(payload, "error", dict, what)),
+            session=_field(payload, "session", str, what, default=None),
+            api_version=_field(payload, "api_version", str, what),
+        )

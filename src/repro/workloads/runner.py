@@ -17,35 +17,58 @@ from repro.graph.datasets import synthetic_small_world
 from repro.graph.social_network import SocialNetwork
 from repro.pruning.stats import PruningConfig
 from repro.query.params import DTopLQuery, TopLQuery
+from repro.serve.batch import (
+    DEFAULT_PROPAGATION_CACHE_CAPACITY,
+    DEFAULT_RESULT_CACHE_CAPACITY,
+    ServingConfig,
+)
+from repro.service.facade import CommunityService
+from repro.service.schema import BatchRequest
 from repro.workloads.queries import QueryWorkload
 from repro.workloads.sweeps import PAPER_PARAMETER_GRID, ParameterGrid, SweepPoint
 
 
 @dataclass
 class ExperimentRunner:
-    """Builds engines per graph and measures query methods over sweeps."""
+    """Builds engines per graph and measures query methods over sweeps.
+
+    Engines are hosted as sessions of one :class:`CommunityService` — the
+    runner binds work to session names and routes batch measurements through
+    :class:`~repro.service.schema.BatchRequest` objects, the same boundary
+    remote clients use.
+    """
 
     grid: ParameterGrid = PAPER_PARAMETER_GRID
     config: Optional[EngineConfig] = None
     rng_seed: int = 2024
 
     def __post_init__(self) -> None:
-        self._engines: dict[str, InfluentialCommunityEngine] = {}
-        self._servings: dict[str, object] = {}
+        self._service = CommunityService()
+
+    @property
+    def service(self) -> CommunityService:
+        """The service hosting this runner's engines (one session per graph)."""
+        return self._service
 
     # ------------------------------------------------------------------ #
     # graph / engine management
     # ------------------------------------------------------------------ #
-    def engine_for(self, graph: SocialNetwork) -> InfluentialCommunityEngine:
-        """Build (and cache) the engine for a graph; keyed by graph name and size."""
-        key = f"{graph.name}:{graph.num_vertices()}:{graph.num_edges()}"
-        engine = self._engines.get(key)
-        if engine is None:
+    def _graph_key(self, graph: SocialNetwork) -> str:
+        return f"{graph.name}:{graph.num_vertices()}:{graph.num_edges()}"
+
+    def session_for(self, graph: SocialNetwork) -> str:
+        """Host ``graph`` as a service session (idempotent); returns its name."""
+        key = self._graph_key(graph)
+        if not self._service.has_session(key):
             engine = InfluentialCommunityEngine.build(
                 graph, config=self.config, validate=False
             )
-            self._engines[key] = engine
-        return engine
+            self._service.adopt(engine, session=key)
+        return key
+
+    def engine_for(self, graph: SocialNetwork) -> InfluentialCommunityEngine:
+        """Build (and cache) the engine for a graph; keyed by graph name and size."""
+        return self._service.engine(self.session_for(graph))
 
     def synthetic_graph(
         self,
@@ -67,6 +90,43 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # measurements
     # ------------------------------------------------------------------ #
+    def serving_session_for(
+        self,
+        graph: SocialNetwork,
+        workers: int = 1,
+        result_cache_capacity: Optional[int] = None,
+        propagation_cache_capacity: Optional[int] = None,
+    ) -> str:
+        """Host a serving session for ``graph`` at the given knobs (idempotent).
+
+        Keyed like :meth:`engine_for` plus the serving knobs, so repeated
+        sweep steps over the same graph share result/propagation caches —
+        the session's serving engine persists, exactly like production
+        traffic against one gateway session.
+        """
+        key = (
+            f"{self._graph_key(graph)}"
+            f":w{workers}:rc{result_cache_capacity}:pc{propagation_cache_capacity}"
+        )
+        if not self._service.has_session(key):
+            config = ServingConfig(
+                workers=workers,
+                result_cache_capacity=(
+                    DEFAULT_RESULT_CACHE_CAPACITY
+                    if result_cache_capacity is None
+                    else result_cache_capacity
+                ),
+                propagation_cache_capacity=(
+                    DEFAULT_PROPAGATION_CACHE_CAPACITY
+                    if propagation_cache_capacity is None
+                    else propagation_cache_capacity
+                ),
+            )
+            self._service.adopt(
+                self.engine_for(graph), session=key, serving_config=config
+            )
+        return key
+
     def serving_for(
         self,
         graph: SocialNetwork,
@@ -74,24 +134,15 @@ class ExperimentRunner:
         result_cache_capacity: Optional[int] = None,
         propagation_cache_capacity: Optional[int] = None,
     ):
-        """Build (and cache) a batch serving engine for ``graph``.
-
-        Keyed like :meth:`engine_for` plus the serving knobs, so repeated
-        sweep steps over the same graph share result/propagation caches.
-        """
-        key = (
-            f"{graph.name}:{graph.num_vertices()}:{graph.num_edges()}"
-            f":w{workers}:rc{result_cache_capacity}:pc{propagation_cache_capacity}"
-        )
-        serving = self._servings.get(key)
-        if serving is None:
-            serving = self.engine_for(graph).serve(
+        """The serving engine behind :meth:`serving_session_for` (old signature)."""
+        return self._service.serving(
+            self.serving_session_for(
+                graph,
                 workers=workers,
                 result_cache_capacity=result_cache_capacity,
                 propagation_cache_capacity=propagation_cache_capacity,
             )
-            self._servings[key] = serving
-        return serving
+        )
 
     def measure_topl(
         self,
@@ -170,31 +221,35 @@ class ExperimentRunner:
     ) -> SweepPoint:
         """Serve a mixed query batch through the batch path and capture throughput.
 
-        The serving engine is cached per graph + knobs, so calling this for
+        The serving session is cached per graph + knobs, so calling this for
         consecutive sweep settings reuses warm caches — the production shape
-        of a parameter sweep.
+        of a parameter sweep.  The measurement itself travels as a
+        :class:`BatchRequest` through the service facade, the same boundary
+        a remote client hits.
         """
-        serving = self.serving_for(
+        session = self.serving_session_for(
             graph,
             workers=workers,
             result_cache_capacity=result_cache_capacity,
             propagation_cache_capacity=propagation_cache_capacity,
         )
-        batch = serving.run(queries)
-        statistics = batch.statistics
+        response = self._service.batch(
+            BatchRequest(session=session, queries=tuple(queries), workers=workers)
+        )
+        statistics = response.statistics
         return SweepPoint(
             settings={
                 "dataset": graph.name,
                 "batch_size": len(queries),
-                "workers": statistics.workers,
-                "mode": statistics.mode,
+                "workers": statistics["workers"],
+                "mode": statistics["mode"],
             },
             metrics={
-                "wall_clock_s": statistics.elapsed_seconds,
-                "queries_per_second": statistics.queries_per_second,
-                "executed": statistics.executed,
-                "result_cache_hits": statistics.result_cache_hits,
-                "propagation_cache_hits": statistics.propagation_cache_hits,
+                "wall_clock_s": statistics["elapsed_seconds"],
+                "queries_per_second": statistics["queries_per_second"],
+                "executed": statistics["executed"],
+                "result_cache_hits": statistics["result_cache_hits"],
+                "propagation_cache_hits": statistics["propagation_cache_hits"],
             },
         )
 

@@ -1,0 +1,29 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.graph.datasets import uni
+from repro.graph.io import graph_to_dict
+
+
+@pytest.fixture(scope="session")
+def service_graph():
+    """One small graph shared (read-only) by the service tests."""
+    return uni(num_vertices=120, rng=5)
+
+
+@pytest.fixture(scope="session")
+def service_graph_doc(service_graph):
+    return graph_to_dict(service_graph)
+
+
+@pytest.fixture(scope="session")
+def built_engine(service_graph):
+    """A pre-built engine for tests that adopt instead of building."""
+    return InfluentialCommunityEngine.build(
+        service_graph, config=EngineConfig(max_radius=2), validate=False
+    )

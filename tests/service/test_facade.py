@@ -1,0 +1,311 @@
+"""CommunityService facade: sessions, lifecycle, caches, deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import __version__
+from repro.dynamic.updates import EdgeUpdate
+from repro.exceptions import (
+    MalformedRequestError,
+    SessionExistsError,
+    UnknownSessionError,
+)
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.serve.batch import BatchQueryEngine, ServingConfig
+from repro.service.facade import CommunityService
+from repro.service.schema import (
+    BatchRequest,
+    BuildRequest,
+    DToplRequest,
+    ToplRequest,
+    UpdateRequest,
+)
+
+TOPL = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3)
+DTOPL = make_dtopl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=2)
+
+
+@pytest.fixture()
+def service(service_graph_doc):
+    service = CommunityService()
+    service.build(
+        BuildRequest(
+            session="main", graph=service_graph_doc, config={"max_radius": 2}
+        )
+    )
+    return service
+
+
+class TestSessions:
+    def test_build_registers_session(self, service):
+        assert service.session_names() == ["main"]
+        assert service.has_session("main")
+        assert service.engine("main").graph.num_vertices() == 120
+
+    def test_duplicate_session_rejected(self, service, service_graph_doc):
+        with pytest.raises(SessionExistsError):
+            service.build(BuildRequest(session="main", graph=service_graph_doc))
+
+    def test_replace_rebuilds_session(self, service, service_graph_doc):
+        response = service.build(
+            BuildRequest(
+                session="main",
+                graph=service_graph_doc,
+                config={"max_radius": 1},
+                replace=True,
+            )
+        )
+        assert response.engine["index"]["max_radius"] == 1
+
+    def test_multiple_sessions_coexist(self, service, service_graph_doc):
+        service.build(
+            BuildRequest(
+                session="other", graph=service_graph_doc, config={"max_radius": 1}
+            )
+        )
+        assert service.session_names() == ["main", "other"]
+        # Each session answers with its own index.
+        assert service.engine("other").index.max_radius == 1
+        assert service.engine("main").index.max_radius == 2
+
+    def test_unknown_session_everywhere(self, service):
+        with pytest.raises(UnknownSessionError):
+            service.topl(ToplRequest(query=TOPL, session="ghost"))
+        with pytest.raises(UnknownSessionError):
+            service.engine("ghost")
+        with pytest.raises(UnknownSessionError):
+            service.drop_session("ghost")
+
+    def test_drop_session(self, service):
+        service.drop_session("main")
+        assert service.session_names() == []
+
+    def test_adopt_existing_engine(self, built_engine):
+        service = CommunityService()
+        name = service.adopt(built_engine, session="adopted")
+        assert name == "adopted"
+        assert service.engine("adopted") is built_engine
+
+    def test_unknown_config_setting_rejected(self, service_graph_doc):
+        service = CommunityService()
+        with pytest.raises(MalformedRequestError):
+            service.build(
+                BuildRequest(
+                    session="x", graph=service_graph_doc, config={"warp_factor": 9}
+                )
+            )
+
+    def test_sessions_response_reports_diagnostics(self, service):
+        document = service.sessions().to_json()
+        assert document["api_version"] == __version__
+        (info,) = document["sessions"]
+        assert info["name"] == "main"
+        assert info["engine"]["backend"] == "reference"
+        assert info["engine"]["epoch"] == 0
+        assert info["engine"]["index_schema_version"] == 1
+
+    def test_health_reuses_engine_describe(self, service):
+        document = service.health().to_json()
+        assert document["status"] == "ok"
+        (info,) = document["sessions"]
+        assert info["engine"] == service.engine("main").describe()
+
+
+class TestLifecycle:
+    def test_topl_response_envelope(self, service):
+        response = service.topl(ToplRequest(query=TOPL, session="main"))
+        assert response.session == "main"
+        assert response.epoch == 0
+        assert response.api_version == __version__
+        assert response.elapsed_seconds >= 0.0
+        assert len(response.communities) <= TOPL.top_l
+        assert response.statistics["communities_scored"] >= len(response.communities)
+
+    def test_dtopl_response_envelope(self, service):
+        response = service.dtopl(DToplRequest(query=DTOPL, session="main"))
+        assert len(response.communities) <= DTOPL.top_l
+        assert response.diversity_score >= 0.0
+        assert response.increment_evaluations >= 0
+
+    def test_update_bumps_epoch_in_responses(self, service):
+        edges_before = service.engine("main").graph.num_edges()
+        before = service.topl(ToplRequest(query=TOPL, session="main"))
+        update = service.update(
+            UpdateRequest(
+                session="main",
+                edits=(EdgeUpdate.insert(0, 60, 0.4),),
+                damage_threshold=1.0,
+            )
+        )
+        after = service.topl(ToplRequest(query=TOPL, session="main"))
+        assert before.epoch == 0
+        assert update.epoch == 1
+        assert update.report["mode"] in ("incremental", "rebuild")
+        assert update.graph["num_edges"] == edges_before + 1
+        assert after.epoch == 1
+
+    def test_batch_preserves_order_and_caches(self, service):
+        request = BatchRequest(session="main", queries=(TOPL, DTOPL, TOPL))
+        response = service.batch(request)
+        assert len(response.results) == 3
+        assert response.results[0]["type"] == "topl"
+        assert response.results[1]["type"] == "dtopl"
+        # Duplicate TopL query in one batch: deduplicated, not recomputed.
+        assert response.results[2] == response.results[0]
+        assert response.statistics["deduplicated"] == 1
+        assert response.cache_statistics["result_cache"]["lookups"] >= 3
+
+    def test_single_queries_share_session_cache(self, service):
+        first = service.topl(ToplRequest(query=TOPL, session="main"))
+        service.topl(ToplRequest(query=TOPL, session="main"))
+        stats = service.serving("main").cache_statistics()["result_cache"]
+        assert stats["hits"] >= 1
+        assert len(first.communities) <= TOPL.top_l
+
+    def test_pruning_override_answers_unpruned(self, service):
+        pruned = service.topl(ToplRequest(query=TOPL, session="main"))
+        unpruned = service.topl(
+            ToplRequest(
+                query=TOPL,
+                session="main",
+                pruning={"keyword": False, "support": False, "score": False},
+            )
+        )
+        assert [c.score for c in unpruned.communities] == [
+            c.score for c in pruned.communities
+        ]
+        # The override really reached the processor: the optional rules
+        # pruned nothing on the unpruned path.
+        for rule in ("pruned_by_keyword", "pruned_by_support", "pruned_by_score"):
+            assert unpruned.statistics[rule] == 0
+
+    def test_save_and_load_index_through_requests(self, service_graph_doc, tmp_path):
+        index_path = str(tmp_path / "index.json")
+        service = CommunityService()
+        built = service.build(
+            BuildRequest(
+                session="writer",
+                graph=service_graph_doc,
+                config={"max_radius": 2},
+                save_index_path=index_path,
+            )
+        )
+        assert built.saved_index_path == index_path
+        loaded = service.build(
+            BuildRequest(
+                session="reader",
+                graph=service_graph_doc,
+                index_path=index_path,
+                config={"backend": "fast"},
+            )
+        )
+        assert loaded.loaded_index
+        assert loaded.engine["backend"] == "fast"
+        assert loaded.engine["index"]["max_radius"] == 2
+        a = service.topl(ToplRequest(query=TOPL, session="writer"))
+        b = service.topl(ToplRequest(query=TOPL, session="reader"))
+        assert [c.score for c in a.communities] == [c.score for c in b.communities]
+
+    def test_handle_json_success_and_error(self, service):
+        document, failure = service.handle_json(
+            "topl", ToplRequest(query=TOPL, session="main").to_json()
+        )
+        assert failure is None
+        assert document["session"] == "main"
+        document, failure = service.handle_json(
+            "topl", ToplRequest(query=TOPL, session="ghost").to_json()
+        )
+        assert failure is not None
+        assert document["error"]["code"] == "UNKNOWN_SESSION"
+        assert failure.error.http_status == 404
+
+    def test_dispatch_rejects_foreign_objects(self, service):
+        with pytest.raises(MalformedRequestError):
+            service.dispatch(object())
+
+    def test_handle_json_turns_unexpected_errors_into_internal(
+        self, service, monkeypatch
+    ):
+        """A bug must surface as an INTERNAL document, never a dropped reply."""
+
+        def explode(request):
+            raise RuntimeError("secret internal detail")
+
+        monkeypatch.setattr(service, "topl", explode)
+        response, failure = service.handle_json(
+            "topl", ToplRequest(query=TOPL, session="main").to_json()
+        )
+        assert failure is not None
+        assert response["error"]["code"] == "INTERNAL"
+        assert failure.error.http_status == 500
+        assert "secret internal detail" not in response["error"]["message"]
+
+    @pytest.mark.parametrize("config", [{"thresholds": 5}, {"max_radius": "two"}])
+    def test_wrong_typed_config_is_malformed_not_internal(
+        self, service_graph_doc, config
+    ):
+        service = CommunityService()
+        document = BuildRequest(session="bad", graph=service_graph_doc).to_json()
+        document["config"] = config
+        response, failure = service.handle_json("build", document)
+        assert failure is not None
+        assert response["error"]["code"] == "MALFORMED_REQUEST"
+
+    def test_batch_pruning_override_keeps_session_serving_config(self, built_engine):
+        service = CommunityService()
+        service.adopt(
+            built_engine,
+            session="uncached",
+            serving_config=ServingConfig(
+                result_cache_capacity=0, propagation_cache_capacity=0
+            ),
+        )
+        response = service.batch(
+            BatchRequest(
+                session="uncached", queries=(TOPL,), pruning={"score": False}
+            )
+        )
+        # Caches stay off exactly as the session was configured.
+        assert response.cache_statistics["result_cache"]["lookups"] == 0
+        assert response.statistics["executed"] == 1
+
+
+class TestServingBindings:
+    def test_for_session_binds_by_name(self, service):
+        serving = BatchQueryEngine.for_session(service, "main")
+        assert serving is service.serving("main")
+        assert serving.engine is service.engine("main")
+
+    def test_custom_serving_config_per_session(self, built_engine):
+        service = CommunityService()
+        service.adopt(
+            built_engine,
+            session="uncached",
+            serving_config=ServingConfig(result_cache_capacity=0),
+        )
+        assert service.serving("uncached").result_cache is None
+
+
+class TestDeprecationShims:
+    def test_topl_many_warns_and_matches_service_batch(self, service, built_engine):
+        queries = [TOPL, TOPL.with_overrides(top_l=2)]
+        with pytest.deprecated_call():
+            shim_results = built_engine.topl_many(queries)
+        response = service.batch(BatchRequest(session="main", queries=tuple(queries)))
+        assert [[c.score for c in result] for result in shim_results] == [
+            [c["score"] for c in result["communities"]]
+            for result in response.results
+        ]
+
+    def test_dtopl_many_warns(self, built_engine):
+        with pytest.deprecated_call():
+            results = built_engine.dtopl_many([DTOPL])
+        assert len(results) == 1
+
+    def test_engine_queries_do_not_warn(self, built_engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            built_engine.topl(TOPL)
