@@ -174,13 +174,100 @@ def test_scattered_batch_falls_back_to_rebuild(dynamic_fixture):
     assert report.damage_ratio > 0.2
 
 
+def measure_update_backends(
+    num_communities: int = NUM_COMMUNITIES,
+    community_size: int = COMMUNITY_SIZE,
+    rng: int = 13,
+) -> dict:
+    """The same 1% localized batch through every update mode, equivalence-gated.
+
+    Three measurements over identical copies of the bench network:
+
+    * **reference-incremental** — ``apply_updates`` on the dict backend;
+    * **fast-incremental** — ``apply_updates`` on the array backend: truss
+      worklist over the ``DeltaCSR`` overlay, record refresh by the fast
+      kernels, snapshot patched in place (no ``freeze()``);
+    * **fast-rebuild** — a full fast-backend offline build of the mutated
+      graph, i.e. what the fast backend paid per edit batch before
+      incremental CSR maintenance landed.
+
+    The exact-equivalence gate asserts all three leave bit-identical
+    pre-computed records (the same gate ``bench_index_build.py`` uses).
+    """
+    try:  # pytest imports benches as a package; standalone runs do not.
+        from benchmarks.bench_index_build import assert_precomputed_equal
+    except ImportError:  # pragma: no cover - standalone `python benchmarks/...`
+        from bench_index_build import assert_precomputed_equal
+
+    graph = planted_community_graph(
+        [community_size] * num_communities,
+        intra_probability=0.1,
+        inter_probability=0.00005,
+        rng=rng,
+        name=f"planted-{num_communities}x{community_size}",
+    )
+    assign_keywords(graph, keywords_per_vertex=3, domain_size=50, rng=rng)
+    fast_config = EngineConfig(
+        max_radius=_DYNAMIC_CONFIG.max_radius,
+        thresholds=_DYNAMIC_CONFIG.thresholds,
+        backend="fast",
+    )
+    reference_graph = graph.copy()
+    fast_graph = graph.copy()
+    reference_engine = InfluentialCommunityEngine.build(
+        reference_graph, config=_DYNAMIC_CONFIG, validate=False
+    )
+    fast_engine = InfluentialCommunityEngine.build(
+        fast_graph, config=fast_config, validate=False
+    )
+    edits = max(int(graph.num_edges() * EDIT_FRACTION), 8)
+    batch = localized_batch(reference_graph, edits, rng=67)
+
+    measurements: dict = {"edit_batch_size": edits}
+    started = time.perf_counter()
+    reference_report = reference_engine.apply_updates(batch, damage_threshold=1.0)
+    measurements["reference_incremental_seconds"] = round(
+        time.perf_counter() - started, 4
+    )
+    started = time.perf_counter()
+    fast_report = fast_engine.apply_updates(batch, damage_threshold=1.0)
+    measurements["fast_incremental_seconds"] = round(time.perf_counter() - started, 4)
+    # The copy happens outside the timed window: the real fallback
+    # (`_rebuild_offline`) rebuilds in place and never pays it.
+    mutated_copy = fast_graph.copy()
+    started = time.perf_counter()
+    rebuilt_fast = InfluentialCommunityEngine.build(
+        mutated_copy, config=fast_config, validate=False
+    )
+    measurements["fast_rebuild_seconds"] = round(time.perf_counter() - started, 4)
+
+    assert reference_report.mode == "incremental", reference_report.mode
+    assert fast_report.mode == "incremental", fast_report.mode
+    measurements["fast_applied_mode"] = fast_report.applied_mode
+    measurements["fast_overlay_dirt_ratio"] = round(fast_report.overlay_dirt_ratio, 4)
+    # The exact-equivalence gate: all three paths computed the same records.
+    assert_precomputed_equal(
+        fast_engine.index.precomputed, reference_engine.index.precomputed
+    )
+    assert_precomputed_equal(
+        fast_engine.index.precomputed, rebuilt_fast.index.precomputed
+    )
+    fast_seconds = measurements["fast_incremental_seconds"]
+    if fast_seconds > 0:
+        measurements["fast_speedup_vs_fast_rebuild"] = round(
+            measurements["fast_rebuild_seconds"] / fast_seconds, 3
+        )
+        measurements["fast_speedup_vs_reference_incremental"] = round(
+            measurements["reference_incremental_seconds"] / fast_seconds, 3
+        )
+    return measurements
+
+
 def measure_rebuild_backends(graph) -> dict:
     """Full offline rebuild on each graph-core backend, equivalence-checked.
 
     The rebuild path is where the damage-threshold fallback lands, so a
     faster backend directly shrinks the worst case of ``apply_updates``.
-    The incremental patch path itself stays on the reference structures
-    (incremental CSR maintenance has not landed).
     """
     from repro.index.precompute import precompute
 
@@ -217,6 +304,31 @@ def test_rebuild_backends_equivalent(dynamic_fixture):
     measurements = measure_rebuild_backends(graph)
     assert "reference_rebuild_seconds" in measurements
     assert "fast_rebuild_seconds" in measurements
+
+
+def test_update_backends_equivalent():
+    """Fast-incremental ≡ reference-incremental ≡ fast-rebuild, bit for bit.
+
+    The exact-equivalence gate inside :func:`measure_update_backends` is the
+    assertion; this runs it at smoke scale on CI.
+    """
+    scale = min(NUM_COMMUNITIES, 6)
+    measurements = measure_update_backends(num_communities=scale)
+    assert measurements["fast_applied_mode"] in ("patch", "compact")
+    assert "fast_incremental_seconds" in measurements
+
+
+def test_fast_incremental_beats_fast_rebuild_at_scale():
+    """The acceptance criterion: patching the overlay in place must beat
+    re-running the fast offline phase, asserted at full benchmark scale
+    (constant costs dominate at smoke scale, as with the reference ratio)."""
+    if NUM_COMMUNITIES < 20:
+        pytest.skip(
+            "speedup is only meaningful at full scale "
+            f"(REPRO_BENCH_DYNAMIC_COMMUNITIES={NUM_COMMUNITIES} < 20)"
+        )
+    measurements = measure_update_backends()
+    assert measurements["fast_speedup_vs_fast_rebuild"] > 1.0, measurements
 
 
 # --------------------------------------------------------------------------- #
@@ -279,6 +391,17 @@ def main(argv=None) -> int:
         "rebuild backends (bit-identical records): reference "
         f"{backends['reference_rebuild_seconds']}s vs fast "
         f"{backends['fast_rebuild_seconds']}s -> {backends.get('speedup', '?')}x"
+    )
+
+    modes = measure_update_backends(args.communities, args.community_size)
+    report["measurements"]["update_backends"] = modes
+    print(
+        "update backends (bit-identical records): "
+        f"reference-incremental {modes['reference_incremental_seconds']}s vs "
+        f"fast-incremental {modes['fast_incremental_seconds']}s "
+        f"({modes['fast_applied_mode']}, dirt {modes['fast_overlay_dirt_ratio']}) vs "
+        f"fast-rebuild {modes['fast_rebuild_seconds']}s -> "
+        f"{modes.get('fast_speedup_vs_fast_rebuild', '?')}x over fast rebuild"
     )
 
     if args.out:

@@ -170,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--out-index", default=None, help="write the refreshed index JSON here")
     update.add_argument("--out-script", default=None,
                         help="write the (possibly generated) edit script here")
+    _add_backend_argument(update)
 
     gateway = subparsers.add_parser(
         "gateway",
@@ -604,6 +605,7 @@ def _command_update(args: argparse.Namespace) -> int:
             session=CLI_SESSION,
             graph=graph_to_dict(graph),
             index_path=args.index or None,
+            config={"backend": getattr(args, "backend", "reference")},
         )
     )
 
@@ -622,11 +624,13 @@ def _command_update(args: argparse.Namespace) -> int:
         rows.append(
             {
                 "edits": f"{start}..{min(start + chunk, len(batch)) - 1}",
-                "mode": report["mode"],
+                "mode": report["applied_mode"],
                 "affected": report["affected_vertices"],
                 "damage": round(report["damage_ratio"], 3),
+                "dirt": round(report["overlay_dirt_ratio"], 3),
                 "truss_changed": report["truss_changed_edges"],
                 "new_vertices": report["new_vertices"],
+                "epoch": report["epoch"],
                 "wall_clock_s": round(report["elapsed_seconds"], 4),
             }
         )
@@ -635,7 +639,9 @@ def _command_update(args: argparse.Namespace) -> int:
     engine = service.engine(CLI_SESSION)
     print(
         f"graph after replay: |V| = {engine.graph.num_vertices()}, "
-        f"|E| = {engine.graph.num_edges()} (epoch {engine.epoch})"
+        f"|E| = {engine.graph.num_edges()} "
+        f"(backend {engine.config.backend}, epoch {engine.epoch}, "
+        f"overlay dirt {engine.overlay_dirt_ratio():.3f})"
     )
     if args.out_graph:
         save_graph_json(engine.graph, args.out_graph)

@@ -45,6 +45,14 @@ class EngineConfig:
         :mod:`repro.fastgraph` core (``graph.freeze()`` snapshots).  The two
         backends produce bit-identical indexes and answers — the choice is
         purely a performance trade; see ``docs/backends.md``.
+    compact_dirt_ratio:
+        Fast backend only: dynamic updates patch the CSR snapshot in place
+        through a :class:`~repro.fastgraph.delta.DeltaCSR` overlay
+        (tombstones + spilled insertions); once the overlay's dirt ratio
+        exceeds this, ``apply_updates`` folds it back into a pure CSR.
+        Higher values compact less often (more overlay scan cost per query),
+        lower values compact eagerly; the default keeps compaction amortized
+        O(1) per edit.  See ``docs/backends.md``.
     """
 
     max_radius: int = DEFAULT_MAX_RADIUS
@@ -54,6 +62,7 @@ class EngineConfig:
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY
     damage_threshold: float = DEFAULT_DAMAGE_THRESHOLD
     backend: str = "reference"
+    compact_dirt_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_radius < 1:
@@ -81,6 +90,10 @@ class EngineConfig:
             raise QueryParameterError(
                 f"backend must be 'reference' or 'fast', got {self.backend!r}"
             )
+        if not self.compact_dirt_ratio > 0.0:
+            raise QueryParameterError(
+                f"compact_dirt_ratio must be > 0, got {self.compact_dirt_ratio}"
+            )
 
     @classmethod
     def paper_defaults(cls) -> "EngineConfig":
@@ -97,4 +110,5 @@ class EngineConfig:
             "leaf_capacity": self.leaf_capacity,
             "damage_threshold": self.damage_threshold,
             "backend": self.backend,
+            "compact_dirt_ratio": self.compact_dirt_ratio,
         }

@@ -62,15 +62,25 @@ class InfluentialCommunityEngine:
         #: their cache keys with it so pre-update entries can never hit.
         self.epoch = 0
         self._truss_state: Optional[IncrementalTrussState] = None
-        #: Lazily-built CSR snapshot for the ``fast`` backend, shared by all
-        #: processors this engine creates; dropped whenever the graph
-        #: mutates (dynamic updates re-freeze on next use).  The workspace
-        #: (scratch arrays over the snapshot) is shared the same way so
-        #: per-call processors do not rebuild it per query; it is
-        #: single-threaded, which is safe because the engine's own query
-        #: methods are sequential (parallel serving workers build their own).
+        #: The ``fast`` backend's snapshot, shared by all processors this
+        #: engine creates: a pure :class:`~repro.fastgraph.csr.CSRGraph`
+        #: until the first dynamic update, a mutable
+        #: :class:`~repro.fastgraph.delta.DeltaCSR` overlay afterwards —
+        #: incremental updates patch it *in place* (no re-freeze); only
+        #: rebuilds and compactions swap the object.  The workspace (scratch
+        #: arrays over the snapshot) is shared the same way and re-synced
+        #: incrementally; it is single-threaded, which is safe because the
+        #: engine's own query methods are sequential (parallel serving
+        #: workers build their own).
         self._frozen = None
         self._fast_workspace = None
+        #: Reference backend's dynamic view (``AdjacencyCore``), kept in
+        #: lockstep with ``graph`` by the truss state.
+        self._reference_core = None
+        #: Edit batches applied to the current overlay base (fast backend):
+        #: spawn-mode serving workers replay these to rebuild the overlay
+        #: instead of re-freezing.  Reset by rebuilds and compactions.
+        self._edit_log: list[UpdateBatch] = []
 
     # ------------------------------------------------------------------ #
     # construction
@@ -180,11 +190,12 @@ class InfluentialCommunityEngine:
         return processor.query(query)
 
     def frozen_graph(self):
-        """The engine's CSR snapshot when the ``fast`` backend is active.
+        """The engine's fast-core snapshot when the ``fast`` backend is active.
 
         Returns ``None`` on the reference backend.  The snapshot is built
-        lazily, reused by every processor, and invalidated whenever
-        :meth:`apply_updates` mutates the graph.
+        lazily and reused by every processor; after dynamic updates it is a
+        :class:`~repro.fastgraph.delta.DeltaCSR` overlay patched in place —
+        queries keep running against it with no re-freeze.
         """
         if self.config.backend != "fast":
             return None
@@ -193,14 +204,80 @@ class InfluentialCommunityEngine:
         return self._frozen
 
     def _workspace(self):
-        """Shared kernel scratch space over :meth:`frozen_graph` (fast only)."""
+        """Shared kernel scratch space over :meth:`frozen_graph` (fast only).
+
+        Re-synced incrementally against the snapshot's mutation log; rebuilt
+        only when the snapshot object itself was swapped (rebuild or
+        compaction).
+        """
         if self.config.backend != "fast":
             return None
-        if self._fast_workspace is None:
+        core = self.frozen_graph()
+        workspace = self._fast_workspace
+        if workspace is None or workspace.core is not core:
             from repro.fastgraph.kernels import CSRWorkspace
 
-            self._fast_workspace = CSRWorkspace(self.frozen_graph())
-        return self._fast_workspace
+            workspace = CSRWorkspace(core)
+            self._fast_workspace = workspace
+        else:
+            workspace.sync()
+        return workspace
+
+    def _dynamic_core(self):
+        """The live :class:`~repro.graph.core.GraphCore` the dynamic layer runs over.
+
+        Fast backend: the engine's snapshot, wrapped into a mutable
+        :class:`~repro.fastgraph.delta.DeltaCSR` overlay on first use (the
+        current workspace carries over — a pristine overlay has the same
+        arcs).  Reference backend: a cached
+        :class:`~repro.graph.core.AdjacencyCore` view.  Either way the truss
+        state is re-bound when the core object changes.
+        """
+        if self.config.backend == "fast":
+            from repro.fastgraph.delta import DeltaCSR
+
+            frozen = self.frozen_graph()
+            if not isinstance(frozen, DeltaCSR):
+                frozen = DeltaCSR(frozen)
+                workspace = self._fast_workspace
+                if workspace is not None and workspace.core is self._frozen:
+                    workspace.rebind(frozen)
+                self._frozen = frozen
+                if self._truss_state is not None:
+                    self._truss_state.rebind_core(frozen)
+            return frozen
+        if self._reference_core is None:
+            from repro.graph.core import AdjacencyCore
+
+            self._reference_core = AdjacencyCore(self.graph)
+            if self._truss_state is not None:
+                self._truss_state.rebind_core(self._reference_core)
+        return self._reference_core
+
+    def overlay_dirt_ratio(self) -> float:
+        """Dirt ratio of the snapshot overlay (0.0 when pure or reference)."""
+        dirt_ratio = getattr(self._frozen, "dirt_ratio", None)
+        return dirt_ratio() if dirt_ratio is not None else 0.0
+
+    def serialized_overlay(self) -> Optional[dict]:
+        """Base graph + edit log for spawn-mode serving workers.
+
+        ``None`` unless the fast backend's snapshot currently carries an
+        overlay; otherwise a picklable document from which a worker rebuilds
+        the overlay exactly (freeze the base graph, replay the log) instead
+        of paying a full freeze of the mutated graph.
+        """
+        from repro.fastgraph.delta import DeltaCSR
+
+        frozen = self._frozen
+        if not isinstance(frozen, DeltaCSR) or not self._edit_log:
+            return None
+        from repro.graph.io import graph_to_dict
+
+        return {
+            "base_graph": graph_to_dict(frozen.base.thaw()),
+            "edit_log": [batch.to_json() for batch in self._edit_log],
+        }
 
     # ------------------------------------------------------------------ #
     # dynamic updates
@@ -261,15 +338,17 @@ class InfluentialCommunityEngine:
                 support_changed_edges=0, truss_changed_edges=0,
                 damage_ratio=0.0, damage_threshold=threshold, epoch=self.epoch,
                 elapsed_seconds=time.perf_counter() - started,
+                overlay_dirt_ratio=self.overlay_dirt_ratio(),
             )
 
         if rebuild:
             # A forced rebuild discards all incremental bookkeeping, so skip
             # it: mutate the graph directly and re-run the offline phase.
+            # The snapshot overlay was *not* kept in lockstep on this path,
+            # so it is dropped rather than compacted.
             batch.validate_against(self.graph)
             new_vertices = batch.apply_to(self.graph)
-            self._truss_state = None
-            self._invalidate_snapshot()
+            self._reset_dynamic_state(compact_overlay=False)
             self._rebuild_offline()
             self.epoch += 1
             total = self.graph.num_vertices()
@@ -288,48 +367,74 @@ class InfluentialCommunityEngine:
                 elapsed_seconds=time.perf_counter() - started,
             )
 
+        core = self._dynamic_core()
         state = self._truss_state
         if state is None:
             # First dynamic batch since (re)build: adopt the offline support
             # map by reference so it stays in sync, and pay one full peeling
             # to seed the trussness map.
             state = IncrementalTrussState(
-                self.graph, supports=self.index.precomputed.global_edge_support
+                self.graph,
+                supports=self.index.precomputed.global_edge_support,
+                core=core,
             )
             self._truss_state = state
         # state.apply validates the whole script before mutating anything, so
-        # an invalid batch raises here and leaves the engine untouched.
+        # an invalid batch raises here and leaves the engine untouched.  The
+        # graph and the core mutate in lockstep: on the fast backend the
+        # snapshot overlay is patched in place, with no re-freeze.
         delta = state.apply(batch)
-        # The graph just mutated: any CSR snapshot is stale from here on
-        # (the damage-fallback rebuild below must not precompute over it).
-        self._invalidate_snapshot()
+        if self.config.backend != "fast":
+            # No workspace consumes the reference view's mutation log
+            # (workspaces exist only over CSR cores); keep it from growing
+            # across the lifetime of a long-lived session.
+            core.mutation_log.clear()
 
         affected = affected_centers(
             self.graph,
             delta,
             max_radius=self.index.max_radius,
             theta_min=min(self.index.thresholds),
+            core=core,
         )
         total = self.graph.num_vertices()
         ratio = len(affected) / total if total else 0.0
+        dirt = 0.0
+        compacted = False
 
         if ratio > threshold:
+            # The overlay tracked every edit, so the fallback folds it into
+            # a pure CSR (identical to re-freezing the mutated graph) and
+            # rebuilds the offline phase over that.
+            self._reset_dynamic_state(compact_overlay=True)
             self._rebuild_offline()
-            self._truss_state = None
             mode = "rebuild"
         else:
             new_vertices = list(delta.new_vertices)
             new_vertex_set = set(new_vertices)
             ordered = sorted(affected, key=repr)
-            refresh_vertex_aggregates(
-                self.graph, self.index.precomputed, ordered, state
-            )
+            if self.config.backend == "fast":
+                from repro.fastgraph.offline import fast_refresh_records
+
+                fast_refresh_records(
+                    core, self._workspace(), self.index.precomputed, ordered, state
+                )
+            else:
+                refresh_vertex_aggregates(
+                    self.graph, self.index.precomputed, ordered, state
+                )
             patch_tree_index(
                 self.index,
                 changed_vertices=[v for v in ordered if v not in new_vertex_set],
                 added_vertices=new_vertices,
             )
             mode = "incremental"
+            if self.config.backend == "fast":
+                self._edit_log.append(batch)
+                dirt = core.dirt_ratio()
+                if dirt > self.config.compact_dirt_ratio:
+                    self._compact_overlay(core)
+                    compacted = True
 
         self.epoch += 1
         return UpdateReport(
@@ -345,11 +450,42 @@ class InfluentialCommunityEngine:
             damage_threshold=threshold,
             epoch=self.epoch,
             elapsed_seconds=time.perf_counter() - started,
+            overlay_dirt_ratio=dirt,
+            compacted=compacted,
         )
 
     def _invalidate_snapshot(self) -> None:
         self._frozen = None
         self._fast_workspace = None
+
+    def _reset_dynamic_state(self, compact_overlay: bool) -> None:
+        """Drop all incremental bookkeeping ahead of an offline rebuild.
+
+        ``compact_overlay=True`` (damage fallback) folds an in-lockstep
+        overlay into a pure CSR so the rebuild reuses it instead of paying a
+        fresh ``freeze()``; ``False`` (forced rebuild, overlay not synced)
+        drops the snapshot entirely.
+        """
+        self._truss_state = None
+        self._reference_core = None
+        self._edit_log = []
+        if compact_overlay and hasattr(self._frozen, "compact"):
+            self._frozen = self._frozen.compact()
+            self._fast_workspace = None
+        else:
+            self._invalidate_snapshot()
+
+    def _compact_overlay(self, overlay) -> None:
+        """Fold the snapshot overlay back into a pure CSR (amortized).
+
+        Edge ids are renumbered by compaction, so the shared workspace is
+        dropped (rebuilt lazily) and the truss state re-projects its id maps
+        when the next update wraps a fresh overlay.  The edit log restarts
+        from the new base.
+        """
+        self._frozen = overlay.compact()
+        self._fast_workspace = None
+        self._edit_log = []
 
     def _rebuild_offline(self) -> None:
         """Re-run the offline phase over the current graph (in place)."""

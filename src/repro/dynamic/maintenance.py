@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.dynamic.truss_maintenance import IncrementalTrussState, UpdateDelta
+from repro.graph.core import AdjacencyCore, GraphCore
 from repro.graph.social_network import SocialNetwork, VertexId
 from repro.index.precompute import PrecomputedData, compute_vertex_record
 from repro.keywords.bitvector import BitVector
@@ -57,11 +58,31 @@ class UpdateReport:
     damage_threshold: float
     epoch: int
     elapsed_seconds: float
+    #: Fast backend only: the snapshot overlay's dirt ratio after the batch
+    #: (0.0 on the reference backend and on rebuilds, which reset the base).
+    overlay_dirt_ratio: float = 0.0
+    #: Whether the incremental path folded the overlay back into a pure CSR
+    #: because the dirt ratio crossed ``EngineConfig.compact_dirt_ratio``.
+    compacted: bool = False
+
+    @property
+    def applied_mode(self) -> str:
+        """The operator-facing mode: ``patch`` / ``compact`` / ``rebuild`` / ``noop``.
+
+        ``mode`` keeps the historical incremental-vs-rebuild contract;
+        this view splits the incremental path by whether the snapshot
+        overlay was compacted afterwards (the ``repro update`` CLI and the
+        dynamic benchmark report it).
+        """
+        if self.mode != "incremental":
+            return self.mode
+        return "compact" if self.compacted else "patch"
 
     def as_dict(self) -> dict:
         """Flat dict for reports, the CLI and the dynamic-update benchmark."""
         return {
             "mode": self.mode,
+            "applied_mode": self.applied_mode,
             "insertions": self.insertions,
             "deletions": self.deletions,
             "new_vertices": self.new_vertices,
@@ -71,35 +92,38 @@ class UpdateReport:
             "truss_changed_edges": self.truss_changed_edges,
             "damage_ratio": round(self.damage_ratio, 4),
             "damage_threshold": self.damage_threshold,
+            "overlay_dirt_ratio": round(self.overlay_dirt_ratio, 4),
+            "compacted": self.compacted,
             "epoch": self.epoch,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
 
-def _union_adjacency(graph: SocialNetwork, delta: UpdateDelta):
-    """Neighbour iteration over the post-update graph plus deleted edges.
+def _union_rows(core: GraphCore, delta: UpdateDelta):
+    """Neighbour iteration over the post-update core plus deleted edges.
 
-    Returns ``(neighbors, probability)`` callables.  Traversing the union of
-    the pre- and post-update edge sets over-approximates reachability in both
-    graphs at once, which keeps the taint analysis one-pass and sound.
+    Returns ``(neighbors, probability)`` callables over dense vertex ints.
+    Traversing the union of the pre- and post-update edge sets
+    over-approximates reachability in both graphs at once, which keeps the
+    taint analysis one-pass and sound.
     """
-    extra: dict[VertexId, dict[VertexId, float]] = {}
-    for u, v, p_uv, p_vu in delta.deleted_edges:
+    index_of = core.table.index_of
+    extra: dict[int, dict[int, float]] = {}
+    for u_id, v_id, p_uv, p_vu in delta.deleted_edges:
+        u, v = index_of(u_id), index_of(v_id)
         extra.setdefault(u, {})[v] = p_uv
         extra.setdefault(v, {})[u] = p_vu
-    adjacency = graph.adjacency()
 
-    def neighbors(vertex: VertexId):
-        live = adjacency.get(vertex, ())
-        yield from live
+    def neighbors(vertex: int):
+        row = core.neighbor_row(vertex)
+        yield from row
         for neighbour in extra.get(vertex, ()):
-            if neighbour not in live:
+            if neighbour not in row:
                 yield neighbour
 
-    def probability(source: VertexId, target: VertexId) -> float:
-        source_adjacency = adjacency.get(source)
-        if source_adjacency is not None and target in source_adjacency:
-            return graph.probability(source, target)
+    def probability(source: int, target: int) -> float:
+        if target in core.neighbor_row(source):
+            return core.probability(source, target)
         return extra[source][target]
 
     return neighbors, probability
@@ -110,6 +134,7 @@ def reverse_influence_set(
     delta: UpdateDelta,
     sources: Iterable[VertexId],
     threshold: float,
+    core: Optional[GraphCore] = None,
 ) -> set:
     """Vertices that reach a modified endpoint with max-product >= threshold.
 
@@ -120,16 +145,25 @@ def reverse_influence_set(
     along the path being reconstructed.  With ``threshold <= 0`` propagation
     is unbounded, so every vertex is returned (the caller falls back to a
     rebuild).
+
+    The traversal runs over int edge ids through the
+    :class:`~repro.graph.core.GraphCore` protocol; ``core`` is whatever view
+    the engine maintains (an :class:`~repro.graph.core.AdjacencyCore` view is
+    built on the fly when omitted).
     """
     sources = [s for s in sources if graph.has_vertex(s)]
     if threshold <= 0.0:
         return set(graph.vertices())
-    neighbors, probability = _union_adjacency(graph, delta)
-    best: dict[VertexId, float] = {}
+    if core is None:
+        core = AdjacencyCore(graph)
+    index_of = core.table.index_of
+    id_of = core.table.id_of
+    neighbors, probability = _union_rows(core, delta)
+    best: dict[int, float] = {}
     counter = 0
-    heap: list[tuple[float, int, VertexId]] = []
+    heap: list[tuple[float, int, int]] = []
     for source in sources:
-        heap.append((-1.0, counter, source))
+        heap.append((-1.0, counter, index_of(source)))
         counter += 1
     heapq.heapify(heap)
     while heap:
@@ -146,7 +180,7 @@ def reverse_influence_set(
                 continue
             heapq.heappush(heap, (-backwards, counter, neighbour))
             counter += 1
-    return set(best)
+    return {id_of(vertex) for vertex in best}
 
 
 def affected_centers(
@@ -154,26 +188,40 @@ def affected_centers(
     delta: UpdateDelta,
     max_radius: int,
     theta_min: float,
+    core: Optional[GraphCore] = None,
 ) -> set:
-    """Centre vertices whose pre-computed records may differ after ``delta``."""
+    """Centre vertices whose pre-computed records may differ after ``delta``.
+
+    ``core`` is the engine's live :class:`~repro.graph.core.GraphCore` (kept
+    in lockstep with ``graph`` by the truss state); when omitted a fresh
+    reference view is built, which yields the same set.
+    """
+    if core is None:
+        core = AdjacencyCore(graph)
     modified = set(delta.touched_vertices)
-    seeds = reverse_influence_set(graph, delta, modified, theta_min)
+    seeds = reverse_influence_set(graph, delta, modified, theta_min, core=core)
     seeds.update(modified)
     seeds.update(delta.changed_edge_vertices())
     seeds = {vertex for vertex in seeds if graph.has_vertex(vertex)}
 
-    neighbors, _ = _union_adjacency(graph, delta)
-    affected = set(seeds)
-    frontier = list(seeds)
+    index_of = core.table.index_of
+    id_of = core.table.id_of
+    neighbors, _ = _union_rows(core, delta)
+    affected = {index_of(vertex) for vertex in seeds}
+    frontier = list(affected)
     for _ in range(max_radius):
-        next_frontier: list[VertexId] = []
+        next_frontier: list[int] = []
         for vertex in frontier:
             for neighbour in neighbors(vertex):
                 if neighbour not in affected:
                     affected.add(neighbour)
                     next_frontier.append(neighbour)
         frontier = next_frontier
-    return {vertex for vertex in affected if graph.has_vertex(vertex)}
+    return {
+        vertex_id
+        for vertex_id in (id_of(vertex) for vertex in affected)
+        if graph.has_vertex(vertex_id)
+    }
 
 
 def refresh_vertex_aggregates(

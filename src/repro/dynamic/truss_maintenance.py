@@ -26,6 +26,16 @@ the exact decomposition of the mutated graph:
   candidate set; its estimates are bumped by one (the new edge starts at
   ``support + 2``) and the worklist settles them back down to exact values.
 
+The worklist runs over **int edge ids** through the
+:class:`~repro.graph.core.GraphCore` protocol, so the same code maintains a
+reference :class:`~repro.graph.core.AdjacencyCore` view and a fast
+:class:`~repro.fastgraph.delta.DeltaCSR` overlay — there is no
+backend-specific maintenance path.  The public :attr:`supports` and
+:attr:`trussness` maps keep the reference ``frozenset`` keying (and the
+adopt-by-reference contract with ``PrecomputedData.global_edge_support``);
+they are written through on every change, while the hot triangle loops touch
+only the id-keyed twins.
+
 Every quantity is exact after :meth:`IncrementalTrussState.apply` returns —
 the equivalence test-suite checks bit-for-bit equality against a fresh
 :func:`~repro.truss.decomposition.truss_decomposition` of the mutated graph.
@@ -37,7 +47,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.dynamic.updates import DEFAULT_INSERT_PROBABILITY, INSERT, UpdateBatch
+from repro.dynamic.updates import INSERT, UpdateBatch
+from repro.graph.core import AdjacencyCore, GraphCore
 from repro.graph.social_network import SocialNetwork, VertexId
 from repro.truss.decomposition import TrussDecomposition, truss_decomposition
 from repro.truss.support import edge_key, edge_support
@@ -102,6 +113,12 @@ class IncrementalTrussState:
     decomposition:
         Optional decomposition to seed the trussness map from; computed fresh
         (one full peeling) when omitted.
+    core:
+        Optional :class:`~repro.graph.core.GraphCore` the worklist runs over,
+        kept in lockstep with ``graph`` by :meth:`apply`.  Defaults to a
+        fresh :class:`~repro.graph.core.AdjacencyCore` view; the fast-backend
+        engine passes its live :class:`~repro.fastgraph.delta.DeltaCSR`
+        overlay so the same edits patch the query snapshot in place.
     """
 
     def __init__(
@@ -109,13 +126,56 @@ class IncrementalTrussState:
         graph: SocialNetwork,
         supports: Optional[dict] = None,
         decomposition: Optional[TrussDecomposition] = None,
+        core: Optional[GraphCore] = None,
     ) -> None:
         self.graph = graph
+        self.core = core if core is not None else AdjacencyCore(graph)
         self.supports = supports if supports is not None else edge_support(graph)
         if decomposition is None:
-            decomposition = truss_decomposition(graph)
+            decomposition = self._fresh_decomposition()
         self.trussness = dict(decomposition.edge_trussness)
         self._vertex_trussness = dict(decomposition.vertex_trussness)
+        self._bind_core_maps()
+
+    def _fresh_decomposition(self) -> TrussDecomposition:
+        """One full peeling, on the cheapest representation available.
+
+        A pristine CSR-backed core peels over the array buffers; anything
+        else (a reference view, or an overlay that already carries edits)
+        peels the live graph.  Trussness is a graph invariant, so the seed
+        values are identical either way.
+        """
+        base = getattr(self.core, "base", None)
+        if base is not None and not self.core.is_dirty:
+            from repro.fastgraph.kernels import truss_decomposition_csr
+
+            return truss_decomposition_csr(base)
+        return truss_decomposition(self.graph)
+
+    def _bind_core_maps(self) -> None:
+        """(Re)derive the id-keyed hot maps from the public keyed maps.
+
+        Called at construction and by :meth:`rebind_core` after the engine
+        compacts a :class:`~repro.fastgraph.delta.DeltaCSR` overlay (which
+        renumbers edge ids); the public maps are the durable representation,
+        the id maps a cheap O(|E|) projection onto the current core.
+        """
+        supports, trussness = self.supports, self.trussness
+        core = self.core
+        edge_key_of = core.edge_key
+        sup: dict[int, int] = {}
+        tau: dict[int, int] = {}
+        for edge_id in core.live_edge_ids():
+            key = edge_key_of(edge_id)
+            sup[edge_id] = supports[key]
+            tau[edge_id] = trussness[key]
+        self._sup = sup
+        self._tau = tau
+
+    def rebind_core(self, core: GraphCore) -> None:
+        """Point the worklist at a new core over the same (current) graph."""
+        self.core = core
+        self._bind_core_maps()
 
     # ------------------------------------------------------------------ #
     # read access
@@ -123,6 +183,10 @@ class IncrementalTrussState:
     def trussness_of_vertex(self, vertex: VertexId) -> int:
         """Trussness of ``vertex`` in the current graph (2 when isolated)."""
         return self._vertex_trussness.get(vertex, 2)
+
+    def supports_by_edge_id(self) -> dict:
+        """The live support map keyed by the core's int edge ids."""
+        return self._sup
 
     def decomposition(self) -> TrussDecomposition:
         """Return the current decomposition as a plain read-only object."""
@@ -139,7 +203,8 @@ class IncrementalTrussState:
 
         The batch is validated up front (all-or-nothing); each edit then
         updates supports locally and settles trussness to the exact values
-        for the intermediate graph before the next edit is applied.
+        for the intermediate graph before the next edit is applied.  The
+        core is kept in lockstep with the graph, edit by edit.
         """
         batch.validate_against(self.graph)
         delta = UpdateDelta()
@@ -153,74 +218,106 @@ class IncrementalTrussState:
         return delta
 
     # ------------------------------------------------------------------ #
+    # dual-map writes (id-keyed hot maps + public frozenset-keyed maps)
+    # ------------------------------------------------------------------ #
+    def _set_support(self, edge_id: int, key: frozenset, value: int) -> None:
+        self._sup[edge_id] = value
+        self.supports[key] = value
+
+    def _set_trussness(self, edge_id: int, key: frozenset, value: int) -> None:
+        self._tau[edge_id] = value
+        self.trussness[key] = value
+
+    # ------------------------------------------------------------------ #
     # single edits
     # ------------------------------------------------------------------ #
     def _apply_delete(self, update, delta: UpdateDelta) -> None:
-        u, v = update.u, update.v
-        graph = self.graph
-        p_uv = graph.probability(u, v)
-        p_vu = graph.probability(v, u)
-        common = graph.neighbor_set(u) & graph.neighbor_set(v)
-        graph.remove_edge(u, v)
+        u_id, v_id = update.u, update.v
+        graph, core = self.graph, self.core
+        p_uv = graph.probability(u_id, v_id)
+        p_vu = graph.probability(v_id, u_id)
+        index_of = core.table.index_of
+        row_u = core.neighbor_row(index_of(u_id))
+        row_v = core.neighbor_row(index_of(v_id))
+        # Triangle edge pairs, collected before the rows mutate.
+        common = [(row_u[w], row_v[w]) for w in row_u.keys() & row_v.keys()]
+        graph.remove_edge(u_id, v_id)
+        edge_id = core.note_delete(u_id, v_id)
 
-        key = edge_key(u, v)
-        delta.note_support(key, self.supports.get(key, 0))
-        delta.note_trussness(key, self.trussness.get(key, 2))
+        key = edge_key(u_id, v_id)
+        delta.note_support(key, self._sup.get(edge_id, 0))
+        delta.note_trussness(key, self._tau.get(edge_id, 2))
+        self._sup.pop(edge_id, None)
+        self._tau.pop(edge_id, None)
         self.supports.pop(key, None)
         self.trussness.pop(key, None)
-        delta.deleted_edges.append((u, v, p_uv, p_vu))
-        delta.touched_vertices.update((u, v))
+        delta.deleted_edges.append((u_id, v_id, p_uv, p_vu))
+        delta.touched_vertices.update((u_id, v_id))
 
-        dirty: list[frozenset] = []
-        for w in common:
-            for other in (edge_key(u, w), edge_key(v, w)):
-                delta.note_support(other, self.supports[other])
-                self.supports[other] -= 1
+        dirty: list[int] = []
+        edge_key_of = core.edge_key
+        for edge_uw, edge_vw in common:
+            for other in (edge_uw, edge_vw):
+                delta.note_support(edge_key_of(other), self._sup[other])
+                self._set_support(other, edge_key_of(other), self._sup[other] - 1)
                 dirty.append(other)
         self._settle(dirty, delta)
 
     def _apply_insert(self, update, delta: UpdateDelta) -> None:
-        u, v = update.u, update.v
-        graph = self.graph
-        for vertex, keywords in ((u, update.keywords_u), (v, update.keywords_v)):
+        u_id, v_id = update.u, update.v
+        graph, core = self.graph, self.core
+        for vertex, keywords in ((u_id, update.keywords_u), (v_id, update.keywords_v)):
             if not graph.has_vertex(vertex):
                 graph.add_vertex(vertex, keywords)
                 delta.new_vertices.append(vertex)
                 self._vertex_trussness[vertex] = 2
-        p_uv = DEFAULT_INSERT_PROBABILITY if update.p_uv is None else update.p_uv
-        graph.add_edge(u, v, p_uv, update.p_vu)
+        p_uv, p_vu = update.resolved_probabilities()
+        graph.add_edge(u_id, v_id, p_uv, p_vu)
+        edge_id = core.note_insert(
+            u_id, v_id, p_uv, p_vu,
+            keywords_u=update.keywords_u, keywords_v=update.keywords_v,
+        )
 
-        key = edge_key(u, v)
-        common = graph.neighbor_set(u) & graph.neighbor_set(v)
-        self.supports[key] = len(common)
-        delta.inserted_edges.append((u, v))
-        delta.touched_vertices.update((u, v))
-        for w in common:
-            for other in (edge_key(u, w), edge_key(v, w)):
-                delta.note_support(other, self.supports[other])
-                self.supports[other] += 1
+        key = edge_key(u_id, v_id)
+        index_of = core.table.index_of
+        row_u = core.neighbor_row(index_of(u_id))
+        row_v = core.neighbor_row(index_of(v_id))
+        common = [(row_u[w], row_v[w]) for w in row_u.keys() & row_v.keys()]
+        self._set_support(edge_id, key, len(common))
+        delta.inserted_edges.append((u_id, v_id))
+        delta.touched_vertices.update((u_id, v_id))
+        edge_key_of = core.edge_key
+        for edge_uw, edge_vw in common:
+            for other in (edge_uw, edge_vw):
+                delta.note_support(edge_key_of(other), self._sup[other])
+                self._set_support(other, edge_key_of(other), self._sup[other] + 1)
 
-        candidates = self._insertion_candidates(key)
+        candidates = self._insertion_candidates(edge_id)
         for candidate in candidates:
-            if candidate == key:
+            if candidate == edge_id:
                 continue
-            delta.note_trussness(candidate, self.trussness[candidate])
-            self.trussness[candidate] += 1
-        self.trussness[key] = self.supports[key] + 2
+            candidate_key = edge_key_of(candidate)
+            delta.note_trussness(candidate_key, self._tau[candidate])
+            self._set_trussness(candidate, candidate_key, self._tau[candidate] + 1)
+        self._set_trussness(edge_id, key, self._sup[edge_id] + 2)
         self._settle(candidates, delta)
 
     # ------------------------------------------------------------------ #
     # the affected-region machinery
     # ------------------------------------------------------------------ #
-    def _triangles_of(self, key: frozenset):
-        """Yield ``(other_edge_1, other_edge_2)`` for each triangle of ``key``."""
-        a, b = tuple(key)
-        graph = self.graph
-        common = graph.neighbor_set(a) & graph.neighbor_set(b)
-        for w in common:
-            yield edge_key(a, w), edge_key(b, w)
+    def _triangles_of(self, edge_id: int):
+        """Yield ``(other_edge_1, other_edge_2)`` for each triangle of ``edge_id``."""
+        a, b = self.core.edge_endpoints(edge_id)
+        row_a = self.core.neighbor_row(a)
+        row_b = self.core.neighbor_row(b)
+        if len(row_a) > len(row_b):
+            row_a, row_b = row_b, row_a
+        for w, first in row_a.items():
+            second = row_b.get(w)
+            if second is not None:
+                yield first, second
 
-    def _insertion_candidates(self, new_edge: frozenset) -> list[frozenset]:
+    def _insertion_candidates(self, new_edge: int) -> list[int]:
         """Edges whose trussness may rise after inserting ``new_edge``.
 
         Level-labelled BFS over triangles: a label ``l(f)`` bounds the largest
@@ -233,13 +330,13 @@ class IncrementalTrussState:
         to the inserted edge through edges of trussness >= k, each of which
         carries a label >= k here.
         """
-        start_level = self.supports[new_edge] + 2
-        levels: dict[frozenset, int] = {new_edge: start_level}
-        queue: deque[frozenset] = deque((new_edge,))
-        candidates: list[frozenset] = [new_edge]
-        trussness = self.trussness
+        start_level = self._sup[new_edge] + 2
+        levels: dict[int, int] = {new_edge: start_level}
+        queue: deque[int] = deque((new_edge,))
+        candidates: list[int] = [new_edge]
+        trussness = self._tau
 
-        def upper_bound(edge: frozenset) -> int:
+        def upper_bound(edge: int) -> int:
             if edge == new_edge:
                 return start_level
             return trussness[edge] + 1
@@ -264,13 +361,13 @@ class IncrementalTrussState:
                         queue.append(other)
         return candidates
 
-    def _local_trussness(self, key: frozenset) -> int:
+    def _local_trussness(self, edge_id: int) -> int:
         """The local fixpoint operator ``H`` evaluated at one edge."""
-        trussness = self.trussness
+        trussness = self._tau
         values = sorted(
             (
                 min(trussness[first], trussness[second])
-                for first, second in self._triangles_of(key)
+                for first, second in self._triangles_of(edge_id)
             ),
             reverse=True,
         )
@@ -283,24 +380,26 @@ class IncrementalTrussState:
 
     def _settle(self, dirty, delta: UpdateDelta) -> None:
         """Run the decreasing worklist until the labelling is a fixpoint."""
-        queue: deque[frozenset] = deque(dirty)
+        queue: deque[int] = deque(dirty)
         queued = set(queue)
-        trussness = self.trussness
+        trussness = self._tau
+        edge_key_of = self.core.edge_key
         while queue:
-            key = queue.popleft()
-            queued.discard(key)
-            current = trussness.get(key)
+            edge_id = queue.popleft()
+            queued.discard(edge_id)
+            current = trussness.get(edge_id)
             if current is None:  # edge deleted after being enqueued
                 continue
-            settled = self._local_trussness(key)
+            settled = self._local_trussness(edge_id)
             if settled >= current:
                 continue
+            key = edge_key_of(edge_id)
             delta.note_trussness(key, current)
-            trussness[key] = settled
+            self._set_trussness(edge_id, key, settled)
             # A triangle supports a neighbour at level l only while both
             # other edges carry >= l; the drop from `current` to `settled`
             # can only invalidate neighbours between those levels.
-            for first, second in self._triangles_of(key):
+            for first, second in self._triangles_of(edge_id):
                 for other in (first, second):
                     if settled < trussness[other] <= current and other not in queued:
                         queue.append(other)
@@ -308,8 +407,9 @@ class IncrementalTrussState:
 
     def _refresh_vertex_trussness(self, delta: UpdateDelta) -> None:
         """Recompute vertex trussness around everything the batch touched."""
-        graph = self.graph
-        trussness = self.trussness
+        graph, core = self.graph, self.core
+        trussness = self._tau
+        index_of = core.table.index_of
         stale = set(delta.touched_vertices)
         stale.update(delta.changed_edge_vertices())
         for key in delta.truss_changed:
@@ -319,8 +419,8 @@ class IncrementalTrussState:
                 self._vertex_trussness.pop(vertex, None)
                 continue
             best = 2
-            for neighbour in graph.neighbors(vertex):
-                value = trussness[edge_key(vertex, neighbour)]
+            for edge_id in core.neighbor_row(index_of(vertex)).values():
+                value = trussness[edge_id]
                 if value > best:
                     best = value
             self._vertex_trussness[vertex] = best

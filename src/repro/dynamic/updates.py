@@ -96,14 +96,23 @@ class EdgeUpdate:
         """Build a deletion edit."""
         return cls(op=DELETE, u=u, v=v)
 
+    def resolved_probabilities(self) -> tuple[float, float]:
+        """The effective ``(p_uv, p_vu)`` of an insertion after defaulting.
+
+        ``p_uv`` defaults to :data:`DEFAULT_INSERT_PROBABILITY` and ``p_vu``
+        to ``p_uv``.  This is the single source of the defaulting rule:
+        every application site (direct graph apply, incremental truss
+        maintenance, overlay replay, JSON encoding) shares it, which is what
+        keeps a replayed ``DeltaCSR`` overlay bit-identical to its parent.
+        """
+        p_uv = DEFAULT_INSERT_PROBABILITY if self.p_uv is None else self.p_uv
+        return p_uv, (p_uv if self.p_vu is None else self.p_vu)
+
     def as_dict(self) -> dict:
         """JSON-compatible representation of the edit."""
         record: dict = {"op": self.op, "u": self.u, "v": self.v}
         if self.op == INSERT:
-            record["p_uv"] = (
-                DEFAULT_INSERT_PROBABILITY if self.p_uv is None else self.p_uv
-            )
-            record["p_vu"] = record["p_uv"] if self.p_vu is None else self.p_vu
+            record["p_uv"], record["p_vu"] = self.resolved_probabilities()
             if self.keywords_u:
                 record["keywords_u"] = sorted(self.keywords_u)
             if self.keywords_v:
@@ -225,10 +234,8 @@ class UpdateBatch:
                     if not graph.has_vertex(vertex):
                         graph.add_vertex(vertex, keywords)
                         new_vertices.append(vertex)
-                p_uv = (
-                    DEFAULT_INSERT_PROBABILITY if update.p_uv is None else update.p_uv
-                )
-                graph.add_edge(update.u, update.v, p_uv, update.p_vu)
+                p_uv, p_vu = update.resolved_probabilities()
+                graph.add_edge(update.u, update.v, p_uv, p_vu)
             else:
                 graph.remove_edge(update.u, update.v)
         return new_vertices

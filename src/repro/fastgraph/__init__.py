@@ -23,32 +23,41 @@ This package provides a compact, immutable mirror of a social network:
   (Algorithm 2) on top of those kernels, producing a
   :class:`~repro.index.precompute.PrecomputedData` that is **bit-for-bit
   identical** to the reference backend's (the cross-backend equivalence
-  suite in ``tests/fastgraph`` enforces this).
+  suite in ``tests/fastgraph`` enforces this);
+* :class:`~repro.fastgraph.delta.DeltaCSR` makes the snapshot *mutable*: a
+  tombstone/spill overlay implementing the same
+  :class:`~repro.graph.core.GraphCore` protocol, patched in place by the
+  dynamic layer and compacted back to a pure :class:`CSRGraph` once its
+  dirt ratio crosses ``EngineConfig.compact_dirt_ratio``.
 
 Entry points: ``SocialNetwork.freeze()`` returns the :class:`CSRGraph`
 mirror, and ``EngineConfig(backend="fast")`` routes the engine's offline
-build and online scoring through it.  See ``docs/backends.md`` for when each
-backend applies and how the dynamic layer interacts with freezing.
+build, online scoring and dynamic maintenance through it.  See
+``docs/backends.md`` for when each backend applies.
 """
 
 from repro.fastgraph.csr import NUMPY_AVAILABLE, CSRGraph, freeze
+from repro.fastgraph.delta import DeltaCSR, overlay_from_edit_log
 from repro.fastgraph.kernels import (
     bfs_hop_ball,
     community_propagation_csr,
     edge_supports_csr,
     truss_decomposition_csr,
 )
-from repro.fastgraph.offline import fast_precompute
+from repro.fastgraph.offline import fast_precompute, fast_refresh_records
 from repro.fastgraph.vertex_table import VertexTable
 
 __all__ = [
     "CSRGraph",
+    "DeltaCSR",
     "NUMPY_AVAILABLE",
     "VertexTable",
     "bfs_hop_ball",
     "community_propagation_csr",
     "edge_supports_csr",
     "fast_precompute",
+    "fast_refresh_records",
     "freeze",
+    "overlay_from_edit_log",
     "truss_decomposition_csr",
 ]

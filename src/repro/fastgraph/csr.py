@@ -53,10 +53,11 @@ class CSRGraph:
     """An immutable array-backed snapshot of a social network.
 
     Build one with :func:`freeze` (or ``SocialNetwork.freeze()``); convert
-    back with :meth:`thaw`.  Instances are read-only by convention: the
-    dynamic layer mutates the reference graph and re-freezes, it never edits
-    a ``CSRGraph`` in place (incremental CSR maintenance has not landed yet —
-    see ``docs/backends.md``).
+    back with :meth:`thaw`.  Instances are read-only: the dynamic layer
+    never edits a ``CSRGraph`` in place — it wraps one in a mutable
+    :class:`~repro.fastgraph.delta.DeltaCSR` overlay (tombstones + spill)
+    and folds the overlay back into a fresh ``CSRGraph`` when it compacts
+    (see ``docs/backends.md``).
     """
 
     __slots__ = (
@@ -114,6 +115,10 @@ class CSRGraph:
         """Number of directed half-edges (``2 |E|``)."""
         return len(self.indices)
 
+    #: Frozen snapshots never mutate (the :class:`GraphCore` sync contract;
+    #: mutable cores append touched vertices here).
+    mutation_log: tuple = ()
+
     def degree(self, vertex: int) -> int:
         """Structural degree of dense vertex ``vertex``."""
         return self.indptr[vertex + 1] - self.indptr[vertex]
@@ -121,6 +126,32 @@ class CSRGraph:
     def neighbors(self, vertex: int) -> array:
         """The neighbour ints of dense vertex ``vertex`` (a slice copy)."""
         return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def arcs(self, vertex: int):
+        """Out-arcs of ``vertex`` as ``(head, p_out, p_in, edge_id)`` tuples.
+
+        The :class:`~repro.graph.core.GraphCore` arc-iteration surface shared
+        with :class:`~repro.fastgraph.delta.DeltaCSR` and
+        :class:`~repro.graph.core.AdjacencyCore`; kernels and workspaces
+        consume any of the three through it.
+        """
+        indices, prob_out, prob_in = self.indices, self.prob_out, self.prob_in
+        arc_edge = self.arc_edge
+        for a in range(self.indptr[vertex], self.indptr[vertex + 1]):
+            yield indices[a], prob_out[a], prob_in[a], arc_edge[a]
+
+    def edge_endpoints(self, edge_id: int) -> tuple:
+        """The dense endpoint ints ``(u, v)`` of ``edge_id`` (``u < v``)."""
+        return self.edge_u[edge_id], self.edge_v[edge_id]
+
+    def edge_key(self, edge_id: int) -> frozenset:
+        """The reference-style ``frozenset`` key of ``edge_id`` (original ids)."""
+        id_of = self.table.id_of
+        return frozenset((id_of(self.edge_u[edge_id]), id_of(self.edge_v[edge_id])))
+
+    def keywords_of(self, vertex: int) -> frozenset:
+        """Keyword set of dense vertex ``vertex``."""
+        return self.keywords[vertex]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -198,27 +198,30 @@ def truss_decomposition_csr(
 class CSRWorkspace:
     """Reusable scratch state for the per-centre kernels.
 
-    One workspace amortises the ``array -> list`` conversion of the CSR
-    buffers and owns the stamp arrays (hop distances, best probabilities,
-    settled flags), which are cleaned up after each call in time
-    proportional to the vertices touched.  A workspace is single-threaded;
-    create one per worker.
+    One workspace amortises the per-vertex arc extraction of a graph core
+    and owns the stamp arrays (hop distances, best probabilities, settled
+    flags), which are cleaned up after each call in time proportional to the
+    vertices touched.  A workspace is single-threaded; create one per worker.
+
+    The core may be a frozen :class:`~repro.fastgraph.csr.CSRGraph` or a
+    mutable :class:`~repro.fastgraph.delta.DeltaCSR` overlay — anything with
+    ``num_vertices`` and ``arcs(u)`` (the :class:`~repro.graph.core.GraphCore`
+    read surface).  For mutable cores, :meth:`sync` re-derives exactly the
+    per-vertex entries whose arcs changed since the last sync, using the
+    core's ``mutation_log``; a workspace therefore survives dynamic updates
+    without being rebuilt from scratch.
     """
 
     __slots__ = (
-        "csr", "n", "indptr", "indices", "prob_out", "arc_edge",
-        "neighbor_ints", "ranked_arcs",
-        "dist", "order", "_best", "_popped",
+        "core", "n",
+        "neighbor_ints", "ranked_arcs", "edge_arcs",
+        "dist", "order", "_best", "_popped", "_log_offset",
     )
 
-    def __init__(self, csr: CSRGraph) -> None:
-        self.csr = csr
-        self.n = csr.num_vertices
-        self.indptr = csr.indptr.tolist()
-        self.indices = csr.indices.tolist()
-        self.prob_out = csr.prob_out.tolist()
-        self.arc_edge = csr.arc_edge.tolist()
-        #: Per-vertex neighbour tuples in CSR order (BFS, shell scans).
+    def __init__(self, core) -> None:
+        self.core = core
+        self.n = core.num_vertices
+        #: Per-vertex neighbour tuples in arc order (BFS, shell scans).
         self.neighbor_ints: list[tuple] = []
         #: Per-vertex ``(p_out, neighbour)`` tuples sorted by descending
         #: probability, so a relaxation sweep can stop at the first product
@@ -226,25 +229,73 @@ class CSRWorkspace:
         #: with ``p == 0`` can never contribute and are dropped outright,
         #: exactly as the reference skips them.
         self.ranked_arcs: list[tuple] = []
-        indptr, indices, prob_out = self.indptr, self.indices, self.prob_out
+        #: Per-vertex ``(edge id, neighbour)`` tuples in arc order (the
+        #: offline shell scans look supports up by edge id).
+        self.edge_arcs: list[tuple] = []
         for u in range(self.n):
-            start, end = indptr[u], indptr[u + 1]
-            self.neighbor_ints.append(tuple(indices[start:end]))
-            ranked = sorted(
-                (
-                    (prob_out[a], indices[a])
-                    for a in range(start, end)
-                    if prob_out[a] > 0.0
-                ),
-                reverse=True,
-            )
-            self.ranked_arcs.append(tuple(ranked))
+            neighbors, ranked, edges = self._vertex_entries(u)
+            self.neighbor_ints.append(neighbors)
+            self.ranked_arcs.append(ranked)
+            self.edge_arcs.append(edges)
         #: Hop distances of the most recent :meth:`bfs_ball` (-1 = unreached).
         self.dist = [-1] * self.n
         #: Visit order of the most recent :meth:`bfs_ball`.
         self.order: list[int] = []
         self._best = [0.0] * self.n
         self._popped = bytearray(self.n)
+        self._log_offset = len(getattr(core, "mutation_log", ()))
+
+    def _vertex_entries(self, vertex: int) -> tuple[tuple, tuple, tuple]:
+        neighbors: list[int] = []
+        ranked: list[tuple[float, int]] = []
+        edges: list[tuple[int, int]] = []
+        for head, p_out, _, edge_id in self.core.arcs(vertex):
+            neighbors.append(head)
+            edges.append((edge_id, head))
+            if p_out > 0.0:
+                ranked.append((p_out, head))
+        ranked.sort(reverse=True)
+        return tuple(neighbors), tuple(ranked), tuple(edges)
+
+    def rebind(self, core) -> None:
+        """Adopt a core whose live arcs currently equal this workspace's.
+
+        Used when the engine wraps a pristine snapshot into a
+        :class:`~repro.fastgraph.delta.DeltaCSR` overlay: the arc sets are
+        identical at that moment, so every derived entry carries over and
+        only the mutation-log cursor resets.
+        """
+        self.core = core
+        self._log_offset = len(getattr(core, "mutation_log", ()))
+
+    def sync(self) -> int:
+        """Absorb the core's mutations since the last sync; return the count.
+
+        Re-derives the per-vertex entries of every vertex in the core's
+        ``mutation_log`` tail (deduplicated) and grows the stamp arrays for
+        newly interned vertices — O(touched arcs), not O(graph).  Frozen
+        cores have an empty log, so this is a no-op for them.
+        """
+        log = getattr(self.core, "mutation_log", ())
+        if len(log) <= self._log_offset:
+            return 0
+        dirty = set(log[self._log_offset:])
+        self._log_offset = len(log)
+        grown = self.core.num_vertices
+        while self.n < grown:
+            self.neighbor_ints.append(())
+            self.ranked_arcs.append(())
+            self.edge_arcs.append(())
+            self.dist.append(-1)
+            self._best.append(0.0)
+            self._popped.append(0)
+            self.n += 1
+        for vertex in dirty:
+            neighbors, ranked, edges = self._vertex_entries(vertex)
+            self.neighbor_ints[vertex] = neighbors
+            self.ranked_arcs[vertex] = ranked
+            self.edge_arcs[vertex] = edges
+        return len(dirty)
 
     def bfs_ball(self, source: int, max_depth: int) -> list[int]:
         """BFS from ``source`` to ``max_depth`` hops.

@@ -59,11 +59,7 @@ def fast_precompute(
     """
     # Deferred import: repro.index.precompute routes its fast backend here,
     # so the result types cannot be imported at module level.
-    from repro.index.precompute import (
-        PrecomputedData,
-        RadiusAggregates,
-        VertexAggregates,
-    )
+    from repro.index.precompute import PrecomputedData, VertexAggregates
 
     if max_radius < 1:
         raise GraphError(f"max_radius must be >= 1, got {max_radius}")
@@ -86,18 +82,15 @@ def fast_precompute(
 
     workspace = CSRWorkspace(csr)
     support_list = supports.tolist()
-    # Per-vertex (neighbour, edge support) pairs for the shell scan below.
-    indices_list = workspace.indices
-    arc_edge_list = workspace.arc_edge
-    indptr_list = workspace.indptr
-    # Sorted by descending support so the shell scan below can stop at the
-    # first entry that cannot beat the running maximum.
+    # Per-vertex (edge support, neighbour) pairs, sorted by descending
+    # support so the shell scan below can stop at the first entry that
+    # cannot beat the running maximum.
     support_arcs = [
         tuple(
             sorted(
                 (
-                    (support_list[arc_edge_list[a]], indices_list[a])
-                    for a in range(indptr_list[u], indptr_list[u + 1])
+                    (support_list[edge_id], head)
+                    for edge_id, head in workspace.edge_arcs[u]
                 ),
                 reverse=True,
             )
@@ -115,68 +108,11 @@ def fast_precompute(
     else:
         centres = [index_of(vertex) for vertex in vertices]
 
-    smallest_theta = ordered_thresholds[0]
-    num_thresholds = len(ordered_thresholds)
-    dist = workspace.dist
     for centre in centres:
-        order = workspace.bfs_ball(centre, max_radius)
-        position = 0
-        ball_size = len(order)
-        bits = 0
-        support_bound = 0
-        cuts: list[int] = []
-        bits_per_radius: list[int] = []
-        bound_per_radius: list[int] = []
-        for radius in range(1, max_radius + 1):
-            # Fold in the shell new at this radius (the centre itself folds
-            # in at radius 1).  Edge (m, w) belongs to ball_r exactly when
-            # both hop distances are <= r, so scanning each new member's
-            # arcs against already-distanced endpoints sees every ball edge
-            # at the first radius that contains it.
-            while position < ball_size:
-                member = order[position]
-                if dist[member] > radius:
-                    break
-                bits |= keyword_bits[member]
-                for support, endpoint in support_arcs[member]:
-                    if support <= support_bound:
-                        break  # descending: nothing later can improve the max
-                    if 0 <= dist[endpoint] <= radius:
-                        support_bound = support
-                position += 1
-            cuts.append(position)
-            bits_per_radius.append(bits)
-            bound_per_radius.append(support_bound)
-
-        value_lists = workspace.nested_propagation_values(
-            order, cuts, smallest_theta
+        per_radius = _ball_aggregates(
+            workspace, centre, max_radius, ordered_thresholds, num_bits,
+            keyword_bits.__getitem__, support_arcs.__getitem__,
         )
-        per_radius: dict[int, RadiusAggregates] = {}
-        for radius in range(1, max_radius + 1):
-            # The values are descending — exactly the order the reference
-            # pops them in — so each theta's reference sum (over all
-            # cpp >= theta) is a prefix sum: one walk recovers every bound
-            # with the same float additions.
-            values = value_lists[radius - 1]
-            sums = [0.0] * num_thresholds
-            running = 0.0
-            cursor = num_thresholds - 1
-            for probability in values:
-                while cursor >= 0 and probability < ordered_thresholds[cursor]:
-                    sums[cursor] = running
-                    cursor -= 1
-                if cursor < 0:
-                    break
-                running += probability
-            while cursor >= 0:
-                sums[cursor] = running
-                cursor -= 1
-            per_radius[radius] = RadiusAggregates(
-                radius=radius,
-                bitvector=BitVector(bits_per_radius[radius - 1], num_bits),
-                support_upper_bound=bound_per_radius[radius - 1],
-                score_bounds=tuple(zip(ordered_thresholds, sums)),
-            )
         data.vertex_aggregates[id_of(centre)] = VertexAggregates(
             vertex=id_of(centre),
             keyword_bitvector=BitVector(keyword_bits[centre], num_bits),
@@ -184,3 +120,170 @@ def fast_precompute(
             center_trussness=vertex_truss[centre],
         )
     return data
+
+
+def _ball_aggregates(
+    workspace, centre, max_radius, thresholds, num_bits, bits_of, support_arcs_of
+):
+    """The per-centre body of Algorithm 2 on the array backend.
+
+    One BFS ball, shell-incremental OR/max aggregation, and the chained
+    per-radius propagation, returning ``{radius: RadiusAggregates}``.
+    Shared — float for float — by the full offline pass
+    (:func:`fast_precompute`, eager per-vertex tables behind the accessors)
+    and the incremental refresh (:func:`fast_refresh_records`, lazy caches),
+    which is what keeps patched records bit-identical to a rebuild.
+
+    ``bits_of(vertex)`` returns the vertex's keyword bits as an int;
+    ``support_arcs_of(vertex)`` its ``(edge support, neighbour)`` pairs
+    sorted descending.
+    """
+    from repro.index.precompute import RadiusAggregates
+
+    smallest_theta = thresholds[0]
+    num_thresholds = len(thresholds)
+    dist = workspace.dist
+    order = workspace.bfs_ball(centre, max_radius)
+    position = 0
+    ball_size = len(order)
+    bits = 0
+    support_bound = 0
+    cuts: list[int] = []
+    bits_per_radius: list[int] = []
+    bound_per_radius: list[int] = []
+    for radius in range(1, max_radius + 1):
+        # Fold in the shell new at this radius (the centre itself folds
+        # in at radius 1).  Edge (m, w) belongs to ball_r exactly when
+        # both hop distances are <= r, so scanning each new member's
+        # arcs against already-distanced endpoints sees every ball edge
+        # at the first radius that contains it.
+        while position < ball_size:
+            member = order[position]
+            if dist[member] > radius:
+                break
+            bits |= bits_of(member)
+            for support, endpoint in support_arcs_of(member):
+                if support <= support_bound:
+                    break  # descending: nothing later can improve the max
+                if 0 <= dist[endpoint] <= radius:
+                    support_bound = support
+            position += 1
+        cuts.append(position)
+        bits_per_radius.append(bits)
+        bound_per_radius.append(support_bound)
+
+    value_lists = workspace.nested_propagation_values(order, cuts, smallest_theta)
+    per_radius: dict[int, RadiusAggregates] = {}
+    for radius in range(1, max_radius + 1):
+        # The values are descending — exactly the order the reference
+        # pops them in — so each theta's reference sum (over all
+        # cpp >= theta) is a prefix sum: one walk recovers every bound
+        # with the same float additions.
+        values = value_lists[radius - 1]
+        sums = [0.0] * num_thresholds
+        running = 0.0
+        cursor = num_thresholds - 1
+        for probability in values:
+            while cursor >= 0 and probability < thresholds[cursor]:
+                sums[cursor] = running
+                cursor -= 1
+            if cursor < 0:
+                break
+            running += probability
+        while cursor >= 0:
+            sums[cursor] = running
+            cursor -= 1
+        per_radius[radius] = RadiusAggregates(
+            radius=radius,
+            bitvector=BitVector(bits_per_radius[radius - 1], num_bits),
+            support_upper_bound=bound_per_radius[radius - 1],
+            score_bounds=tuple(zip(thresholds, sums)),
+        )
+    return per_radius
+
+
+def fast_refresh_records(core, workspace, data, vertices, truss_state) -> int:
+    """Recompute the records of ``vertices`` in place on the fast backend.
+
+    The incremental counterpart of :func:`fast_precompute`: the same
+    per-centre loop (one BFS, shell-incremental OR/max aggregation, chained
+    per-radius propagation), but run over a *mutable* core — normally a
+    :class:`~repro.fastgraph.delta.DeltaCSR` overlay patched in place by the
+    dynamic layer — against the supports and trussness the
+    :class:`~repro.dynamic.truss_maintenance.IncrementalTrussState` maintains
+    exactly, instead of re-deriving them from scratch.  Because the inputs
+    are exact and the per-centre arithmetic is shared, the refreshed records
+    are bit-identical to both a reference refresh and a full fast rebuild
+    (the cross-backend dynamic suite enforces this).
+
+    Parameters
+    ----------
+    core:
+        The engine's current fast core (``CSRGraph`` or ``DeltaCSR``).
+    workspace:
+        A :class:`~repro.fastgraph.kernels.CSRWorkspace` over ``core``;
+        synced here before use.
+    data:
+        The live :class:`~repro.index.precompute.PrecomputedData`; records
+        are replaced in ``data.vertex_aggregates``.
+    vertices:
+        Centre vertices (original ids) whose records to refresh.
+    truss_state:
+        The engine's incremental truss state (supports by edge id, vertex
+        trussness).
+
+    Returns
+    -------
+    int
+        Number of records refreshed.
+    """
+    from repro.index.precompute import VertexAggregates
+
+    workspace.sync()
+    num_bits = data.num_bits
+    index_of = core.table.index_of
+    supports_by_id = truss_state.supports_by_edge_id()
+    edge_arcs = workspace.edge_arcs
+
+    # Lazy per-vertex caches shared across the (overlapping) hop balls of
+    # one refresh call; both mirror the eager tables of the full pass.
+    keyword_bits: dict[int, int] = {}
+    support_arcs: dict[int, tuple] = {}
+
+    def bits_of(member: int) -> int:
+        bits = keyword_bits.get(member)
+        if bits is None:
+            bits = BitVector.from_keywords(core.keywords_of(member), num_bits).bits
+            keyword_bits[member] = bits
+        return bits
+
+    def support_arcs_of(member: int) -> tuple:
+        arcs = support_arcs.get(member)
+        if arcs is None:
+            arcs = tuple(
+                sorted(
+                    (
+                        (supports_by_id[edge_id], head)
+                        for edge_id, head in edge_arcs[member]
+                    ),
+                    reverse=True,
+                )
+            )
+            support_arcs[member] = arcs
+        return arcs
+
+    refreshed = 0
+    for vertex_id in vertices:
+        centre = index_of(vertex_id)
+        per_radius = _ball_aggregates(
+            workspace, centre, data.max_radius, data.thresholds, num_bits,
+            bits_of, support_arcs_of,
+        )
+        data.vertex_aggregates[vertex_id] = VertexAggregates(
+            vertex=vertex_id,
+            keyword_bitvector=BitVector(bits_of(centre), num_bits),
+            per_radius=per_radius,
+            center_trussness=truss_state.trussness_of_vertex(vertex_id),
+        )
+        refreshed += 1
+    return refreshed

@@ -1,5 +1,6 @@
 """Graph substrate: data model, traversal, generators, datasets, and I/O."""
 
+from repro.graph.core import AdjacencyCore, GraphCore
 from repro.graph.social_network import SocialNetwork
 from repro.graph.subgraph import SubgraphView
 from repro.graph.traversal import (

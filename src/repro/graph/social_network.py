@@ -263,8 +263,10 @@ class SocialNetwork:
         The snapshot is a :class:`repro.fastgraph.csr.CSRGraph`: vertex ids
         interned to dense ints, CSR adjacency, and per-direction probability
         arrays — the representation the ``fast`` backend's kernels run on.
-        The snapshot does not track later mutations of this graph; re-freeze
-        after edits (``CSRGraph.thaw()`` converts back).
+        The snapshot does not track later out-of-band mutations of this
+        graph; apply edits through the dynamic layer (which patches a
+        :class:`~repro.fastgraph.delta.DeltaCSR` overlay in lockstep) or
+        re-freeze (``CSRGraph.thaw()`` converts back).
         """
         from repro.fastgraph.csr import freeze as _freeze
 

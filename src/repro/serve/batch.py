@@ -191,6 +191,7 @@ def _build_processors(
     propagation_cache: Optional[LRUCache] = None,
     backend: str = "reference",
     frozen=None,
+    workspace=None,
 ) -> tuple:
     cache = (
         propagation_cache
@@ -198,16 +199,20 @@ def _build_processors(
         else maybe_cache(propagation_cache_capacity)
     )
     # The processors share one CSR snapshot on the fast backend (freezing is
-    # O(|V| + |E|); no reason to pay it twice per worker).
+    # O(|V| + |E|); no reason to pay it twice per worker).  ``workspace`` is
+    # only passed on the in-process path, where the engine's incrementally
+    # synced scratch arrays can be reused; pool workers build their own.
     if backend == "fast" and frozen is None:
         frozen = graph.freeze()
     topl = TopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
         cache_epoch=cache_epoch, backend=backend, frozen=frozen,
+        workspace=workspace,
     )
     dtopl = DTopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
         cache_epoch=cache_epoch, backend=backend, frozen=frozen,
+        workspace=workspace,
     )
     return topl, dtopl
 
@@ -215,9 +220,9 @@ def _build_processors(
 def _worker_init_fork() -> None:
     """Pool initializer for ``fork``: the state arrived with the fork itself."""
     global _WORKER_PROCESSORS
-    graph, index, pruning, capacity, epoch, backend = _FORK_STATE
+    graph, index, pruning, capacity, epoch, backend, frozen = _FORK_STATE
     _WORKER_PROCESSORS = _build_processors(
-        graph, index, pruning, capacity, epoch, backend=backend
+        graph, index, pruning, capacity, epoch, backend=backend, frozen=frozen
     )
 
 
@@ -226,9 +231,26 @@ def _worker_init_rebuild(payload: dict) -> None:
 
     The payload is the same JSON-compatible document the index serialization
     round-trip produces, so rebuilding skips the offline phase entirely.
+    When the parent engine's snapshot carries a dynamic-update overlay, the
+    shipped graph is the overlay's *base* and ``edit_log`` the batches
+    applied since: the worker snapshots the base, then replays the log into
+    both its graph and the overlay — mirroring the parent's
+    :class:`~repro.fastgraph.delta.DeltaCSR` exactly, for the price of
+    shipping one graph either way.
     """
     global _WORKER_PROCESSORS
     graph = graph_from_dict(payload["graph"])
+    frozen = None
+    edit_log = payload.get("edit_log") or []
+    if edit_log:
+        from repro.dynamic.updates import UpdateBatch
+        from repro.fastgraph.delta import DeltaCSR
+
+        frozen = DeltaCSR(graph.freeze())  # snapshot the base before replay
+        for document in edit_log:
+            batch = UpdateBatch.from_json(document)
+            batch.apply_to(graph)
+            frozen.replay(batch)
     index = build_tree_index(
         graph,
         precomputed=precomputed_from_dict(payload["precomputed"]),
@@ -243,6 +265,7 @@ def _worker_init_rebuild(payload: dict) -> None:
         payload["propagation_cache_capacity"],
         payload.get("cache_epoch", 0),
         backend=payload.get("backend", "reference"),
+        frozen=frozen,
     )
 
 
@@ -315,6 +338,7 @@ class BatchQueryEngine:
             propagation_cache=self.propagation_cache,
             backend=self._backend(),
             frozen=self._frozen(),
+            workspace=self._workspace(),
         )
 
     def _backend(self) -> str:
@@ -324,6 +348,17 @@ class BatchQueryEngine:
     def _frozen(self):
         frozen_graph = getattr(self.engine, "frozen_graph", None)
         return frozen_graph() if callable(frozen_graph) else None
+
+    def _workspace(self):
+        """The engine's shared (incrementally synced) kernel workspace.
+
+        Reusing it avoids rebuilding the per-vertex scratch tuples on every
+        epoch re-bind; safe because the engine, this serving engine and its
+        processors all run queries sequentially against one engine (the
+        workspace resets its stamps after each call).
+        """
+        workspace = getattr(self.engine, "_workspace", None)
+        return workspace() if callable(workspace) else None
 
     def _refresh_if_stale(self) -> None:
         """Absorb a dynamic update of the served engine.
@@ -479,6 +514,7 @@ class BatchQueryEngine:
                     self.config.propagation_cache_capacity,
                     self._epoch,
                     self._backend(),
+                    self._frozen(),
                 )
                 pool = context.Pool(workers, initializer=_worker_init_fork)
             else:
@@ -514,10 +550,18 @@ class BatchQueryEngine:
         return "fork" if "fork" in available else "spawn"
 
     def _worker_payload(self) -> dict:
-        """The rebuild payload shipped to ``spawn``/``forkserver`` workers."""
+        """The rebuild payload shipped to ``spawn``/``forkserver`` workers.
+
+        When the served engine's fast snapshot carries a dynamic-update
+        overlay, ``graph`` is the overlay's *base* graph and ``edit_log``
+        the batches applied since — the worker replays them (see
+        :func:`_worker_init_rebuild`) instead of receiving the mutated
+        graph, so its snapshot mirrors the parent's overlay exactly.
+        """
         index = self.engine.index
-        return {
-            "graph": graph_to_dict(self.engine.graph),
+        serialized_overlay = getattr(self.engine, "serialized_overlay", None)
+        overlay = serialized_overlay() if callable(serialized_overlay) else None
+        payload = {
             "precomputed": precomputed_to_dict(index.precomputed),
             "fanout": index.fanout,
             "leaf_capacity": index.leaf_capacity,
@@ -530,6 +574,13 @@ class BatchQueryEngine:
             "cache_epoch": self._epoch,
             "backend": self._backend(),
         }
+        if overlay is not None:
+            payload["graph"] = overlay["base_graph"]
+            payload["edit_log"] = overlay["edit_log"]
+        else:
+            payload["graph"] = graph_to_dict(self.engine.graph)
+            payload["edit_log"] = []
+        return payload
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,15 +1,54 @@
-"""Hypothesis strategies for dynamic-graph scenarios (graph + edit script)."""
+"""Hypothesis strategies + backend plumbing for dynamic-graph scenarios.
+
+The whole ``tests/dynamic`` suite honours ``REPRO_TEST_BACKEND``: the CI
+backend-matrix job exports ``fast``, which runs every engine through the
+array core and every directly-constructed truss state over a
+:class:`~repro.fastgraph.delta.DeltaCSR` overlay — the same assertions then
+prove the incremental fast path bit-identical to the reference rebuilds.
+"""
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import strategies as st
 
+from repro.core.config import EngineConfig
 from repro.dynamic.truss_maintenance import IncrementalTrussState
 from repro.dynamic.updates import EdgeUpdate, UpdateBatch
 from repro.truss.support import edge_key
 from tests.property.strategies import KEYWORD_POOL, social_networks
 
-__all__ = ["KEYWORD_POOL", "dynamic_scenarios"]
+__all__ = [
+    "DYNAMIC_BACKEND",
+    "KEYWORD_POOL",
+    "dynamic_config",
+    "dynamic_scenarios",
+    "make_truss_state",
+]
+
+#: Backend the dynamic suite runs on; the CI matrix exports fast.
+DYNAMIC_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "reference")
+
+
+def dynamic_config(**overrides) -> EngineConfig:
+    """An :class:`EngineConfig` on the backend under test."""
+    overrides.setdefault("backend", DYNAMIC_BACKEND)
+    return EngineConfig(**overrides)
+
+
+def make_truss_state(graph, **kwargs) -> IncrementalTrussState:
+    """A truss state over the backend under test's graph core.
+
+    On the fast backend the worklist runs over a ``DeltaCSR`` overlay of a
+    fresh snapshot (exactly what the engine maintains); on the reference
+    backend over the default ``AdjacencyCore`` view.
+    """
+    if DYNAMIC_BACKEND == "fast" and "core" not in kwargs:
+        from repro.fastgraph.delta import DeltaCSR
+
+        kwargs["core"] = DeltaCSR(graph.freeze())
+    return IncrementalTrussState(graph, **kwargs)
 
 
 @st.composite
@@ -21,7 +60,7 @@ def dynamic_scenarios(draw, max_edits: int = 8):
     delete-then-reinsert churn.
     """
     graph = draw(social_networks(min_vertices=3, max_vertices=12))
-    state = IncrementalTrussState(graph)
+    state = make_truss_state(graph)
 
     vertices = list(graph.vertices())
     edges = {edge_key(u, v) for u, v in graph.edges()}

@@ -9,6 +9,8 @@ from repro.graph.social_network import SocialNetwork
 from repro.truss.decomposition import truss_decomposition
 from repro.truss.support import edge_key, edge_support
 
+from tests.dynamic.strategies_dynamic import make_truss_state
+
 
 def _assert_exact(state: IncrementalTrussState) -> None:
     """The state must match a from-scratch decomposition of its graph."""
@@ -31,14 +33,14 @@ class TestInsertion:
         """Inserting {2,3} lifts edge {0,1} to trussness 4 even though the
         support of {0,1} never changes — the candidate BFS must reach it."""
         graph = _near_clique()
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         state.apply(UpdateBatch([EdgeUpdate.insert(2, 3, 0.5)]))
         assert state.trussness[edge_key(0, 1)] == 4
         _assert_exact(state)
 
     def test_insert_between_new_vertices(self):
         graph = _near_clique()
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         delta = state.apply(
             UpdateBatch([EdgeUpdate.insert(10, 11, 0.4, keywords_u={"music"})])
         )
@@ -49,7 +51,7 @@ class TestInsertion:
 
     def test_pendant_insert_changes_nothing_else(self):
         graph = complete_graph(5, rng=1)
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         before = dict(state.trussness)
         delta = state.apply(UpdateBatch([EdgeUpdate.insert(0, 99, 0.3)]))
         assert delta.truss_changed == set()
@@ -61,7 +63,7 @@ class TestInsertion:
 class TestDeletion:
     def test_clique_edge_deletion_cascades(self):
         graph = complete_graph(5, rng=1)  # every edge trussness 5
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         delta = state.apply(UpdateBatch([EdgeUpdate.delete(0, 1)]))
         # The survivors drop: edges at 0 and 1 to 4, and the peeling of the
         # remaining K4 caps everything at 4.
@@ -70,7 +72,7 @@ class TestDeletion:
         _assert_exact(state)
 
     def test_deleting_bridge_leaves_cliques_untouched(self, two_cliques_bridge):
-        state = IncrementalTrussState(two_cliques_bridge)
+        state = make_truss_state(two_cliques_bridge)
         before = dict(state.trussness)
         delta = state.apply(UpdateBatch([EdgeUpdate.delete(4, 5)]))
         assert delta.truss_changed == set()
@@ -81,7 +83,7 @@ class TestDeletion:
 
     def test_delete_then_reinsert_restores_decomposition(self):
         graph = complete_graph(4, rng=2)
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         before = dict(state.trussness)
         delta = state.apply(
             UpdateBatch(
@@ -97,7 +99,7 @@ class TestBatches:
     def test_mixed_batch_on_planted_graph(self):
         graph = planted_community_graph([8, 8, 8], intra_probability=0.8,
                                         inter_probability=0.1, rng=3)
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         edits = [
             EdgeUpdate.delete(*next(iter(graph.edges()))),
             EdgeUpdate.insert(0, 23, 0.6),
@@ -110,7 +112,7 @@ class TestBatches:
     def test_supports_adopted_by_reference(self):
         graph = complete_graph(4, rng=2)
         shared = edge_support(graph)
-        state = IncrementalTrussState(graph, supports=shared)
+        state = make_truss_state(graph, supports=shared)
         state.apply(UpdateBatch([EdgeUpdate.delete(0, 1)]))
         # The caller's dict is the state's dict: updated in place.
         assert shared is state.supports
@@ -118,7 +120,7 @@ class TestBatches:
 
     def test_delta_reports_net_changes_only(self):
         graph = _near_clique()
-        state = IncrementalTrussState(graph)
+        state = make_truss_state(graph)
         delta = state.apply(
             UpdateBatch([EdgeUpdate.insert(2, 3, 0.5), EdgeUpdate.delete(2, 3)])
         )

@@ -10,7 +10,11 @@ from repro.dynamic.updates import EdgeUpdate, UpdateBatch
 from repro.exceptions import DynamicUpdateError, QueryParameterError
 from repro.query.params import make_topl_query
 
-_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4)
+from tests.dynamic.strategies_dynamic import dynamic_config
+
+_CONFIG = dynamic_config(
+    max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4
+)
 
 
 @pytest.fixture
@@ -118,10 +122,12 @@ class TestApplyUpdates:
         )
         payload = report.as_dict()
         assert payload["mode"] == report.mode
+        assert payload["applied_mode"] == report.applied_mode
         assert payload["epoch"] == 1
         assert set(payload) >= {
             "affected_vertices", "damage_ratio", "damage_threshold",
             "support_changed_edges", "truss_changed_edges",
+            "overlay_dirt_ratio", "compacted",
         }
 
     def test_config_damage_threshold_validation(self):
@@ -143,3 +149,70 @@ class TestApplyUpdates:
         report = loaded.apply_updates([EdgeUpdate.delete(4, 5)], damage_threshold=1.0)
         assert report.mode == "incremental"
         assert not loaded.graph.has_edge(4, 5)
+
+
+class TestOverlayCompaction:
+    """Fast-backend snapshot lifecycle: patch in place, compact past the knob."""
+
+    @pytest.fixture
+    def fast_engine(self, two_cliques_bridge):
+        config = dynamic_config(
+            max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4,
+            backend="fast", compact_dirt_ratio=0.2,
+        )
+        return InfluentialCommunityEngine.build(
+            two_cliques_bridge, config=config, validate=False
+        )
+
+    def test_patch_then_compact_then_patch_again(self, fast_engine):
+        from repro.fastgraph.csr import CSRGraph
+        from repro.fastgraph.delta import DeltaCSR
+
+        first = fast_engine.apply_updates(
+            [EdgeUpdate.delete(4, 5)], damage_threshold=1.0
+        )
+        assert first.applied_mode == "patch"
+        assert 0.0 < first.overlay_dirt_ratio <= 0.2
+        assert isinstance(fast_engine._frozen, DeltaCSR)
+
+        second = fast_engine.apply_updates(
+            [
+                EdgeUpdate.insert(4, 5, 0.6),
+                EdgeUpdate.insert(0, 9, 0.4),
+                EdgeUpdate.insert(1, 8, 0.4),
+            ],
+            damage_threshold=1.0,
+        )
+        assert second.applied_mode == "compact"
+        assert second.compacted and second.overlay_dirt_ratio > 0.2
+        assert isinstance(fast_engine._frozen, CSRGraph)
+        assert fast_engine.overlay_dirt_ratio() == 0.0
+
+        third = fast_engine.apply_updates(
+            [EdgeUpdate.delete(0, 9)], damage_threshold=1.0
+        )
+        assert third.applied_mode == "patch"
+        assert isinstance(fast_engine._frozen, DeltaCSR)
+
+        # The surviving state is still exact: answers equal a fresh build.
+        fresh = InfluentialCommunityEngine.build(
+            fast_engine.graph.copy(), config=_CONFIG, validate=False
+        )
+        query = make_topl_query({"movies"}, k=3, radius=2, theta=0.1, top_l=2)
+        ours = tuple((c.vertices, c.score) for c in fast_engine.topl(query))
+        theirs = tuple((c.vertices, c.score) for c in fresh.topl(query))
+        assert ours == theirs
+
+    def test_edit_log_resets_on_compaction(self, fast_engine):
+        fast_engine.apply_updates([EdgeUpdate.delete(4, 5)], damage_threshold=1.0)
+        assert fast_engine.serialized_overlay() is not None
+        report = fast_engine.apply_updates(
+            [
+                EdgeUpdate.insert(4, 5, 0.6),
+                EdgeUpdate.insert(0, 9, 0.4),
+                EdgeUpdate.insert(1, 8, 0.4),
+            ],
+            damage_threshold=1.0,
+        )
+        assert report.compacted
+        assert fast_engine.serialized_overlay() is None  # new base, empty log

@@ -23,7 +23,6 @@ import random
 import pytest
 from hypothesis import given, settings
 
-from repro.core.config import EngineConfig
 from repro.core.engine import InfluentialCommunityEngine
 from repro.dynamic.updates import random_update_batch
 from repro.graph.generators import erdos_renyi_graph
@@ -35,9 +34,13 @@ from repro.query.topl import TopLProcessor
 from repro.truss.decomposition import truss_decomposition
 from repro.truss.support import edge_support
 
-from tests.dynamic.strategies_dynamic import KEYWORD_POOL, dynamic_scenarios
+from tests.dynamic.strategies_dynamic import (
+    KEYWORD_POOL,
+    dynamic_config,
+    dynamic_scenarios,
+)
 
-_CONFIG = EngineConfig(
+_CONFIG = dynamic_config(
     max_radius=2, thresholds=(0.1, 0.3), fanout=3, leaf_capacity=4
 )
 

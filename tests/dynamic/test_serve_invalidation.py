@@ -11,14 +11,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import EngineConfig
 from repro.core.engine import InfluentialCommunityEngine
 from repro.dynamic.updates import EdgeUpdate
 from repro.query.params import make_topl_query
 from repro.serve.cache import propagation_cache_key, query_cache_key
 from repro.pruning.stats import PruningConfig
 
-_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4)
+from tests.dynamic.strategies_dynamic import dynamic_config
+
+_CONFIG = dynamic_config(
+    max_radius=2, thresholds=(0.1, 0.2, 0.3), fanout=3, leaf_capacity=4
+)
 
 
 def _fingerprint(result):

@@ -1,0 +1,167 @@
+"""Cross-backend lifecycle property test through :class:`CommunityService`.
+
+Seeded edit scripts drive the full service lifecycle — build → update →
+topl/dtopl → update → batch — against two sessions over the same graph, one
+per backend, asserting every response **bit-identical** on the wire: the
+fast session's snapshot is patched in place (DeltaCSR overlay, no
+re-freeze) while the reference session patches dict structures, and a
+remote client must not be able to tell them apart.  One scenario finishes
+with a spawn-mode parallel batch after an update, which exercises the
+worker-side overlay rebuild from the serialized edit log.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dynamic.updates import random_update_batch
+from repro.graph.datasets import uni
+from repro.graph.io import graph_to_dict
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.serve.batch import ServingConfig
+from repro.service.facade import CommunityService
+from repro.service.schema import BatchRequest, BuildRequest, DToplRequest, ToplRequest, UpdateRequest
+
+QUERIES = [
+    make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3),
+    make_topl_query({"sports"}, k=3, radius=1, theta=0.1, top_l=5),
+    make_dtopl_query({"movies", "music"}, k=3, radius=2, theta=0.2, top_l=2),
+]
+
+
+def _strip_timings(node):
+    if isinstance(node, dict):
+        for key in ("elapsed_seconds", "elapsed_ms", "queries_per_second"):
+            node.pop(key, None)
+        for value in node.values():
+            _strip_timings(value)
+    elif isinstance(node, list):
+        for value in node:
+            _strip_timings(value)
+
+
+def _wire(response) -> dict:
+    """Timing-free canonical wire form, through real JSON text."""
+    document = json.loads(json.dumps(response.to_json()))
+    document.pop("session", None)
+    _strip_timings(document)
+    return document
+
+
+def _build_sessions(service: CommunityService, graph_doc: dict) -> None:
+    for backend in ("reference", "fast"):
+        service.build(
+            BuildRequest(
+                session=backend,
+                graph=graph_doc,
+                config={"max_radius": 2, "backend": backend},
+                validate=False,
+            )
+        )
+
+
+def _run_lifecycle(service: CommunityService, seed: int, workers: int = 1) -> None:
+    graph = uni(num_vertices=110, rng=7 + seed)
+    _build_sessions(service, graph_to_dict(graph))
+    script = random_update_batch(
+        graph, 14, rng=seed, insert_ratio=0.5, grow_probability=0.2,
+        keyword_pool=("movies", "books", "sports"),
+    )
+    half = len(script) // 2
+    chunks = [tuple(script[:half]), tuple(script[half:])]
+
+    for round_index, edits in enumerate(chunks):
+        responses = {}
+        for backend in ("reference", "fast"):
+            responses[backend] = service.update(
+                UpdateRequest(session=backend, edits=edits, damage_threshold=1.0)
+            )
+        ours, theirs = (_wire(responses[b]) for b in ("reference", "fast"))
+        # Reports agree on everything except the backend-specific overlay
+        # fields (the reference backend has no overlay to dirty).
+        for report in (ours["report"], theirs["report"]):
+            report.pop("overlay_dirt_ratio")
+            report.pop("compacted")
+            report.pop("applied_mode")
+        assert ours == theirs, (seed, round_index)
+
+        for query in QUERIES:
+            if isinstance(query, type(QUERIES[0])):
+                request_type, endpoint = ToplRequest, "topl"
+            else:
+                request_type, endpoint = DToplRequest, "dtopl"
+            answered = {
+                backend: service.dispatch(
+                    request_type(session=backend, query=query)
+                )
+                for backend in ("reference", "fast")
+            }
+            assert _wire(answered["reference"]) == _wire(answered["fast"]), (
+                seed, round_index, endpoint, query,
+            )
+
+    batch_responses = {
+        backend: service.batch(
+            BatchRequest(session=backend, queries=tuple(QUERIES), workers=workers)
+        )
+        for backend in ("reference", "fast")
+    }
+    ours, theirs = (_wire(batch_responses[b]) for b in ("reference", "fast"))
+    for document in (ours, theirs):
+        document.pop("cache_statistics", None)
+        document["statistics"].pop("mode", None)
+        document["statistics"].pop("workers", None)
+    assert ours == theirs, seed
+
+    for backend in ("reference", "fast"):
+        service.drop_session(backend)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_lifecycle_bit_identical_across_backends(seed):
+    """build → update → topl/dtopl → update → batch: fast ≡ reference."""
+    _run_lifecycle(CommunityService(), seed)
+
+
+def test_lifecycle_with_spawn_parallel_batch_after_update():
+    """The closing batch runs on spawn workers, which rebuild the fast
+    session's snapshot overlay from the serialized edit log."""
+    service = CommunityService(
+        serving_config=ServingConfig(
+            workers=2, start_method="spawn", result_cache_capacity=0
+        )
+    )
+    _run_lifecycle(service, seed=99, workers=2)
+
+
+def test_fast_session_snapshot_is_patched_not_refrozen():
+    """The service update path must never re-freeze the fast session's graph."""
+    import repro.graph.social_network as social_network_module
+
+    service = CommunityService()
+    graph = uni(num_vertices=110, rng=3)
+    _build_sessions(service, graph_to_dict(graph))
+    script = random_update_batch(graph, 8, rng=5, insert_ratio=0.5)
+
+    calls = []
+    original = social_network_module.SocialNetwork.freeze
+
+    def counting_freeze(self):
+        calls.append(self.name)
+        return original(self)
+
+    social_network_module.SocialNetwork.freeze = counting_freeze
+    try:
+        response = service.update(
+            UpdateRequest(session="fast", edits=tuple(script), damage_threshold=1.0)
+        )
+        answer = service.topl(ToplRequest(session="fast", query=QUERIES[0]))
+    finally:
+        social_network_module.SocialNetwork.freeze = original
+    assert response.report["mode"] == "incremental"
+    assert answer.communities is not None
+    assert calls == [], f"freeze() was called on the incremental fast path: {calls}"
+    for backend in ("reference", "fast"):
+        service.drop_session(backend)

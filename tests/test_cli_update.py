@@ -79,7 +79,43 @@ def test_update_random_focus_restricts_churn(graph_path, capsys):
     )
     captured = capsys.readouterr().out
     assert exit_code == 0
-    assert "incremental" in captured
+    assert "patch" in captured  # the applied mode (patch/compact/rebuild)
+
+
+def test_update_summary_reports_mode_epoch_and_dirt(graph_path, capsys):
+    """The replay table carries the applied mode, epoch and overlay dirt ratio."""
+    exit_code = main(
+        [
+            "update", graph_path,
+            "--random", "6", "--seed", "3",
+            "--batch-size", "3",
+            "--damage-threshold", "1.0",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    for column in ("mode", "dirt", "epoch"):
+        assert column in captured
+    assert "patch" in captured
+    assert "overlay dirt" in captured  # final summary line
+    assert "backend reference" in captured
+
+
+def test_update_fast_backend_patches_in_place(graph_path, capsys):
+    """--backend fast replays through the DeltaCSR overlay (non-zero dirt)."""
+    exit_code = main(
+        [
+            "update", graph_path,
+            "--backend", "fast",
+            "--random", "4", "--seed", "3",
+            "--damage-threshold", "1.0",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "backend fast" in captured
+    assert "patch" in captured or "compact" in captured
+    assert "epoch 1" in captured
 
 
 def test_update_unknown_focus_vertex_fails_cleanly(graph_path, capsys):
