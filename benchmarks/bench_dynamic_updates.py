@@ -35,6 +35,7 @@ from repro.dynamic.updates import random_update_batch
 from repro.graph.generators import planted_community_graph
 from repro.graph.keyword_assignment import assign_keywords
 from repro.workloads.queries import QueryWorkload
+from repro.workloads.reporting import bench_envelope
 
 #: Communities in the planted graph (scaled down under REPRO_BENCH_DYNAMIC_COMMUNITIES).
 NUM_COMMUNITIES = int(os.environ.get("REPRO_BENCH_DYNAMIC_COMMUNITIES", "40"))
@@ -43,6 +44,8 @@ COMMUNITY_SIZE = int(os.environ.get("REPRO_BENCH_DYNAMIC_COMMUNITY_SIZE", "50"))
 #: Edit-batch size as a fraction of the edge count (the paper-scale scenario
 #: uses 1%).
 EDIT_FRACTION = 0.01
+#: Seed for the planted graph, its keywords and the edit batches.
+GRAPH_SEED = 13
 
 _DYNAMIC_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
 
@@ -50,7 +53,7 @@ _DYNAMIC_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
 def build_dynamic_fixture(
     num_communities: int = NUM_COMMUNITIES,
     community_size: int = COMMUNITY_SIZE,
-    rng: int = 13,
+    rng: int = GRAPH_SEED,
 ):
     """Planted-community graph (~5k edges at default scale) + built engine.
 
@@ -348,21 +351,11 @@ def main(argv=None) -> int:
         f"edit batch = {edits} ({EDIT_FRACTION:.0%})"
     )
 
-    report = {
-        "bench": "dynamic_updates",
-        "recorded_unix": int(time.time()),
-        "dataset": graph.name,
-        "num_vertices": graph.num_vertices(),
-        "num_edges": graph.num_edges(),
-        "edit_batch_size": edits,
-        "edit_fraction": EDIT_FRACTION,
-        "cpu_count": os.cpu_count(),
-        "measurements": {},
-    }
+    measurements: dict = {}
 
     localized = _measure_incremental_vs_rebuild(graph, engine, localized_batch(graph, edits))
     rebuilt = localized.pop("rebuilt_engine")
-    report["measurements"]["localized"] = localized
+    measurements["localized"] = localized
     print(
         f"localized batch: mode={localized['report']['mode']}, "
         f"affected {localized['report']['affected_vertices']}/{localized['report']['total_vertices']}, "
@@ -379,14 +372,14 @@ def main(argv=None) -> int:
     scattered = engine.apply_updates(
         scattered_batch(graph, edits), damage_threshold=None
     )
-    report["measurements"]["scattered"] = {"report": scattered.as_dict()}
+    measurements["scattered"] = {"report": scattered.as_dict()}
     print(
         f"scattered batch: mode={scattered.mode} "
         f"(damage {scattered.damage_ratio:.2f} vs threshold {scattered.damage_threshold})"
     )
 
     backends = measure_rebuild_backends(graph)
-    report["measurements"]["rebuild_backends"] = backends
+    measurements["rebuild_backends"] = backends
     print(
         "rebuild backends (bit-identical records): reference "
         f"{backends['reference_rebuild_seconds']}s vs fast "
@@ -394,7 +387,7 @@ def main(argv=None) -> int:
     )
 
     modes = measure_update_backends(args.communities, args.community_size)
-    report["measurements"]["update_backends"] = modes
+    measurements["update_backends"] = modes
     print(
         "update backends (bit-identical records): "
         f"reference-incremental {modes['reference_incremental_seconds']}s vs "
@@ -403,6 +396,24 @@ def main(argv=None) -> int:
         f"fast-rebuild {modes['fast_rebuild_seconds']}s -> "
         f"{modes.get('fast_speedup_vs_fast_rebuild', '?')}x over fast rebuild"
     )
+
+    report = {
+        # equivalence=True: the correctness gate above compared patched vs
+        # rebuilt answers, and the backend measurements assert bit-identical
+        # records between reference and fast.
+        **bench_envelope(
+            "dynamic_updates",
+            seed=GRAPH_SEED,
+            speedup_factor=modes.get("fast_speedup_vs_fast_rebuild", 0.0),
+            equivalence=True,
+        ),
+        "dataset": graph.name,
+        "num_vertices": graph.num_vertices(),
+        "num_edges": graph.num_edges(),
+        "edit_batch_size": edits,
+        "edit_fraction": EDIT_FRACTION,
+        "measurements": measurements,
+    }
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

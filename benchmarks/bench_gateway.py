@@ -39,9 +39,12 @@ from repro.service.facade import CommunityService
 from repro.service.gateway import ServiceGateway
 from repro.service.schema import BatchRequest, result_to_wire
 from repro.workloads.queries import QueryWorkload
+from repro.workloads.reporting import bench_envelope
 
 #: Batch size of the gateway measurement.
 BATCH_SIZE = int(os.environ.get("REPRO_BENCH_GATEWAY_BATCH", "24"))
+#: Seed for the bench graph (the query workload is seeded separately, 97).
+GRAPH_SEED = 41
 
 _GATEWAY_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
 _SESSION = "bench"
@@ -49,7 +52,7 @@ _SESSION = "bench"
 
 def build_gateway_fixture(num_vertices: int, batch_size: int):
     """Service (caches off — every measurement executes) + gateway + batch."""
-    graph = synthetic_small_world("uniform", num_vertices=num_vertices, rng=41)
+    graph = synthetic_small_world("uniform", num_vertices=num_vertices, rng=GRAPH_SEED)
     engine = InfluentialCommunityEngine.build(
         graph, config=_GATEWAY_CONFIG, validate=False
     )
@@ -215,8 +218,15 @@ def main(argv=None) -> int:
     graph, service, queries = build_gateway_fixture(args.vertices, args.batch)
     measurements = measure_paths(service, queries)
     report = {
-        "bench": "gateway",
-        "recorded_unix": int(time.time()),
+        # The headline ratio here is the HTTP *overhead* factor (in-process
+        # q/s over HTTP q/s); equivalence=True because measure_paths asserts
+        # every path returns bit-identical answers.
+        **bench_envelope(
+            "gateway",
+            seed=GRAPH_SEED,
+            speedup_factor=measurements.get("http_overhead_factor", 0.0),
+            equivalence=True,
+        ),
         "dataset": graph.name,
         "num_vertices": graph.num_vertices(),
         "num_edges": graph.num_edges(),

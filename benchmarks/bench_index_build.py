@@ -41,6 +41,7 @@ from repro.graph.generators import planted_community_graph
 from repro.graph.keyword_assignment import assign_keywords
 from repro.index.precompute import precompute
 from repro.index.tree import build_tree_index
+from repro.workloads.reporting import bench_envelope
 
 #: Communities in the bench network (scaled down under
 #: REPRO_BENCH_FASTCORE_COMMUNITIES for the CI smoke).
@@ -49,6 +50,8 @@ NUM_COMMUNITIES = int(os.environ.get("REPRO_BENCH_FASTCORE_COMMUNITIES", "14"))
 COMMUNITY_SIZE = int(os.environ.get("REPRO_BENCH_FASTCORE_COMMUNITY_SIZE", "50"))
 #: Weighted-cascade-scale propagation probabilities (~1/degree).
 WEIGHT_RANGE = (0.05, 0.3)
+#: Seed for the bench network (graph, weights and keywords).
+GRAPH_SEED = 13
 
 _CONFIG = EngineConfig(max_radius=3, thresholds=(0.1, 0.2, 0.3))
 
@@ -56,7 +59,7 @@ _CONFIG = EngineConfig(max_radius=3, thresholds=(0.1, 0.2, 0.3))
 def build_bench_network(
     num_communities: int = NUM_COMMUNITIES,
     community_size: int = COMMUNITY_SIZE,
-    rng: int = 13,
+    rng: int = GRAPH_SEED,
 ):
     """The ~5k-edge planted-community network both backends build over."""
     graph = planted_community_graph(
@@ -217,8 +220,13 @@ def main(argv=None) -> int:
         print("WARNING: below the committed 5x target", file=sys.stderr)
 
     report = {
-        "bench": "fastcore_index_build",
-        "recorded_unix": int(time.time()),
+        # equivalence=True: bit-identical records were asserted above.
+        **bench_envelope(
+            "fastcore_index_build",
+            seed=GRAPH_SEED,
+            speedup_factor=speedup,
+            equivalence=True,
+        ),
         "network": {
             "name": graph.name,
             "num_vertices": graph.num_vertices(),
@@ -228,7 +236,6 @@ def main(argv=None) -> int:
             "weight_range": list(WEIGHT_RANGE),
         },
         "config": _CONFIG.describe(),
-        "cpu_count": os.cpu_count(),
         "repeats": args.repeats,
         "measurements": {
             backend: {

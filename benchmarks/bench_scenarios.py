@@ -1,0 +1,117 @@
+"""Scenario screening: the declarative catalog run end-to-end on both backends.
+
+Every catalog scenario (``repro.scenarios.catalog``) crosses a graph recipe
+with a probability model and a traffic shape, replays the synthesized trace
+through :class:`~repro.service.facade.CommunityService` on the reference and
+fast backends, and gates on bit-identical wire responses.  This module is
+the benchmarks-layer entry point for that screening:
+
+* **pytest** — each *smoke* scenario is a PR-gate test (gates enforced);
+  the nightly-only catalog entries carry the ``slow`` marker so
+  ``-m 'not slow'`` keeps the PR wall clock down.
+* **standalone recorder** — writes ``BENCH_scenarios.json`` (one section per
+  scenario, wrapped in the uniform envelope) and prints the ASCII summary::
+
+      python benchmarks/bench_scenarios.py --out BENCH_scenarios.json
+
+The JSON document validates against the checked-in schema
+(``repro/scenarios/bench_record.schema.json``); CI's ``bench-schema`` step
+re-validates it alongside every other ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pytest
+
+from repro.scenarios.catalog import catalog, get_scenario, scenario_names
+from repro.scenarios.pipeline import run_scenario
+from repro.scenarios.report import (
+    format_scenario_table,
+    scenarios_document,
+    write_scenarios_document,
+)
+
+_SMOKE = frozenset(scenario_names(smoke_only=True))
+
+
+def _params():
+    """One pytest param per catalog scenario; nightly entries marked slow."""
+    for spec in catalog():
+        marks = () if spec.smoke else (pytest.mark.slow,)
+        yield pytest.param(spec.name, marks=marks, id=spec.name)
+
+
+@pytest.mark.parametrize("name", _params())
+def test_scenario_gates(name):
+    """Per-scenario gate: both backends agree bit-for-bit and results land."""
+    report = run_scenario(get_scenario(name), enforce_gates=True)
+    assert report.passed, report.gates
+    assert report.equivalence, report.first_mismatch
+    assert report.spec["scenario"]["name"] == name
+
+
+def test_catalog_document_round_trips():
+    """The emitted document validates against the schema and round-trips."""
+    from repro.scenarios.bench_schema import validate_bench_document
+    from repro.scenarios.report import load_scenarios_document
+    import json
+    import tempfile
+
+    reports = [run_scenario(get_scenario(name)) for name in sorted(_SMOKE)[:1]]
+    document = scenarios_document(reports)
+    assert validate_bench_document(document) == []
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as handle:
+        json.dump(document, handle)
+        path = handle.name
+    restored = load_scenarios_document(path)
+    assert [r.to_json() for r in restored] == [r.to_json() for r in reports]
+
+
+# --------------------------------------------------------------------------- #
+# standalone baseline recorder
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="catalog scenarios to run (default: the full catalog)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the PR-gate smoke subset"
+    )
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    if args.names:
+        names = args.names
+    else:
+        names = list(scenario_names(smoke_only=args.smoke))
+
+    reports = []
+    for name in names:
+        report = run_scenario(get_scenario(name), enforce_gates=False)
+        reports.append(report)
+        backends = report.backends
+        print(
+            f"{name}: reference {backends['reference']['total_seconds']:.2f}s, "
+            f"fast {backends['fast']['total_seconds']:.2f}s -> {report.speedup}x, "
+            f"equivalence={'ok' if report.equivalence else 'FAIL'}, "
+            f"gates={'pass' if report.passed else 'FAIL'}"
+        )
+
+    print()
+    print(format_scenario_table(reports))
+
+    if args.out:
+        write_scenarios_document(reports, args.out)
+        print(f"baseline written to {args.out}")
+
+    return 0 if all(report.passed for report in reports) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

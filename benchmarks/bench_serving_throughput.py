@@ -32,18 +32,21 @@ from repro.core.config import EngineConfig
 from repro.core.engine import InfluentialCommunityEngine
 from repro.graph.datasets import synthetic_small_world
 from repro.workloads.queries import QueryWorkload
+from repro.workloads.reporting import bench_envelope
 
 #: Batch size of the throughput measurement (32 mixed queries by default).
 BATCH_SIZE = int(os.environ.get("REPRO_BENCH_SERVING_BATCH", "32"))
 #: Worker counts of the scaling sweep.
 WORKER_COUNTS = (1, 2, 4)
+#: Seed for the bench graph (the query workload is seeded separately, 97).
+GRAPH_SEED = 41
 
 _SERVING_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
 
 
 def build_serving_fixture(num_vertices: int, batch_size: int):
     """Graph + engine + mixed query batch shared by every measurement."""
-    graph = synthetic_small_world("uniform", num_vertices=num_vertices, rng=41)
+    graph = synthetic_small_world("uniform", num_vertices=num_vertices, rng=GRAPH_SEED)
     engine = InfluentialCommunityEngine.build(
         graph, config=_SERVING_CONFIG, validate=False
     )
@@ -240,30 +243,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     graph, engine, queries = build_serving_fixture(args.vertices, args.batch)
-    report = {
-        "bench": "serving_throughput",
-        "recorded_unix": int(time.time()),
-        "dataset": graph.name,
-        "num_vertices": graph.num_vertices(),
-        "num_edges": graph.num_edges(),
-        "batch_size": len(queries),
-        "cpu_count": os.cpu_count(),
-        "measurements": [],
-    }
+    measurements = []
     for workers in WORKER_COUNTS:
         measurement = _measure(engine, queries, workers=workers, cache=False)
-        report["measurements"].append(measurement)
+        measurements.append(measurement)
         qps = measurement["rounds"][0]["queries_per_second"]
         print(f"workers={workers} cache=off: {qps:.2f} queries/sec")
     cached = _measure(engine, queries, workers=1, cache=True)
-    report["measurements"].append(cached)
+    measurements.append(cached)
     print(
         f"workers=1 cache=on: cold {cached['rounds'][0]['queries_per_second']:.2f} "
         f"-> warm {cached['rounds'][1]['queries_per_second']:.2f} queries/sec"
     )
 
     backends = measure_backends(graph, queries)
-    report["backends"] = backends
     print(
         "backend comparison (sequential, cache off): "
         f"reference {backends['reference']['queries_per_second']:.2f} q/s "
@@ -273,11 +266,27 @@ def main(argv=None) -> int:
         f"{backends.get('offline_build_speedup', '?')}x build speedup)"
     )
 
-    baseline = report["measurements"][0]["rounds"][0]["queries_per_second"]
-    parallel = report["measurements"][-2]["rounds"][0]["queries_per_second"]
-    if baseline > 0:
-        report["speedup_workers_4_vs_1"] = round(parallel / baseline, 3)
-        print(f"workers=4 speedup over workers=1: {report['speedup_workers_4_vs_1']}x")
+    baseline = measurements[0]["rounds"][0]["queries_per_second"]
+    parallel = measurements[-2]["rounds"][0]["queries_per_second"]
+    workers_speedup = round(parallel / baseline, 3) if baseline > 0 else 0.0
+    print(f"workers=4 speedup over workers=1: {workers_speedup}x")
+
+    report = {
+        # equivalence=True: measure_backends asserted identical answers above.
+        **bench_envelope(
+            "serving_throughput",
+            seed=GRAPH_SEED,
+            speedup_factor=workers_speedup,
+            equivalence=True,
+        ),
+        "dataset": graph.name,
+        "num_vertices": graph.num_vertices(),
+        "num_edges": graph.num_edges(),
+        "batch_size": len(queries),
+        "measurements": measurements,
+        "backends": backends,
+        "speedup_workers_4_vs_1": workers_speedup,
+    }
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -31,6 +31,7 @@ from repro.exceptions import (
     MalformedRequestError,
     QueryParameterError,
     ReproError,
+    ScenarioError,
     SerializationError,
     ServiceRequestError,
     ServingError,
@@ -68,6 +69,7 @@ __all__ = [
     "MalformedRequestError",
     "QueryParameterError",
     "ReproError",
+    "ScenarioError",
     "SerializationError",
     "ServiceRequestError",
     "ServingError",

@@ -78,6 +78,16 @@ class DynamicUpdateError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """Raised when a scenario specification is malformed or a gate fails.
+
+    Scenario specs (see :mod:`repro.scenarios.spec`) are validated strictly —
+    unknown sections or keys, out-of-domain values, and unloadable spec files
+    all raise this; the pipeline also raises it when a scenario's declared
+    gates (equivalence, non-degeneracy) do not hold.
+    """
+
+
 class ServiceRequestError(ReproError):
     """Raised when a request is rejected at the service API boundary.
 

@@ -268,6 +268,71 @@ def planted_community_graph(
     return graph
 
 
+def bipartite_ish_graph(
+    num_left: int,
+    num_right: int,
+    edges_per_right: int = 2,
+    closure_probability: float = 0.15,
+    weight_range: tuple[float, float] = DEFAULT_WEIGHT_RANGE,
+    rng: RandomLike = None,
+    name: str = "bipartite-ish",
+) -> SocialNetwork:
+    """Generate a *mostly* bipartite two-mode social network.
+
+    Models user-item style graphs (customers × products, authors × venues):
+    left vertices ``0 .. num_left-1`` form one mode, right vertices attach to
+    ``edges_per_right`` left vertices each with preferential attachment
+    (popular left hubs accumulate degree).  A pure bipartite graph has no
+    triangles — and therefore no k-trusses beyond k = 2 — so with
+    ``closure_probability`` per right vertex one pair of its left neighbours
+    is linked directly, the "ish" that plants sparse triangle structure the
+    truss machinery can bite on.
+    """
+    if num_left < 2 or num_right < 1:
+        raise GraphError(
+            f"bipartite-ish graphs need >= 2 left and >= 1 right vertices, "
+            f"got {num_left} x {num_right}"
+        )
+    if edges_per_right < 1 or edges_per_right > num_left:
+        raise GraphError(
+            f"edges_per_right must be in [1, num_left], got {edges_per_right}"
+        )
+    if not 0.0 <= closure_probability <= 1.0:
+        raise GraphError(
+            f"closure_probability must be in [0, 1], got {closure_probability}"
+        )
+    generator = _resolve_rng(rng)
+    graph = SocialNetwork(name=name)
+    left = list(range(num_left))
+    for v in range(num_left + num_right):
+        graph.add_vertex(v)
+    # One entry per attachment endpoint keeps sampling degree-proportional;
+    # seeding with every left vertex once gives zero-degree hubs a chance.
+    weighted_left: list[int] = list(left)
+    for r in range(num_left, num_left + num_right):
+        targets: set[int] = set()
+        while len(targets) < edges_per_right:
+            targets.add(generator.choice(weighted_left))
+        for target in sorted(targets):
+            graph.add_edge(
+                r,
+                target,
+                _draw_probability(generator, weight_range),
+                _draw_probability(generator, weight_range),
+            )
+            weighted_left.append(target)
+        if len(targets) >= 2 and generator.random() < closure_probability:
+            u, v = generator.sample(sorted(targets), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(
+                    u,
+                    v,
+                    _draw_probability(generator, weight_range),
+                    _draw_probability(generator, weight_range),
+                )
+    return graph
+
+
 def complete_graph(
     num_vertices: int,
     weight_range: tuple[float, float] = DEFAULT_WEIGHT_RANGE,

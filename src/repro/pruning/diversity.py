@@ -23,13 +23,15 @@ from repro.influence.propagation import InfluencedCommunity
 
 
 def diversity_score(communities: Iterable[InfluencedCommunity]) -> float:
-    """Return ``D(S)`` for a collection of influenced communities (Eq. 6)."""
-    best: dict = {}
-    for community in communities:
-        for vertex, probability in community.cpp.items():
-            if probability > best.get(vertex, 0.0):
-                best[vertex] = probability
-    return sum(best.values())
+    """Return ``D(S)`` for a collection of influenced communities (Eq. 6).
+
+    The per-vertex maxima are summed in sorted value order: the ``cpp`` maps
+    iterate in backend-dependent discovery order, and float addition is not
+    associative, so a naive sum could differ between backends in the last
+    ulp.  The sorted multiset of contributions is backend-independent, which
+    keeps the reported score bit-identical — the equivalence invariant.
+    """
+    return sum(sorted(coverage_map(communities).values()))
 
 
 def coverage_map(communities: Iterable[InfluencedCommunity]) -> dict:
@@ -48,13 +50,18 @@ def coverage_map(communities: Iterable[InfluencedCommunity]) -> dict:
 
 
 def marginal_gain(candidate: InfluencedCommunity, coverage: dict) -> float:
-    """Return ``Delta_D_g(S) = D(S ∪ {g}) - D(S)`` given the coverage map of ``S``."""
-    gain = 0.0
+    """Return ``Delta_D_g(S) = D(S ∪ {g}) - D(S)`` given the coverage map of ``S``.
+
+    Gains feed the greedy's selection heap, so like :func:`diversity_score`
+    they are summed in sorted order to stay independent of the ``cpp``
+    iteration order of the backend that produced the candidate.
+    """
+    improvements = []
     for vertex, probability in candidate.cpp.items():
         covered = coverage.get(vertex, 0.0)
         if probability > covered:
-            gain += probability - covered
-    return gain
+            improvements.append(probability - covered)
+    return sum(sorted(improvements))
 
 
 def apply_to_coverage(candidate: InfluencedCommunity, coverage: dict) -> dict:

@@ -140,4 +140,7 @@ def dtopl_icde(
 
 
 def _diversity_of(selection: list[SeedCommunity]) -> float:
-    return sum(coverage_map([community.influenced for community in selection]).values())
+    # Sorted-sum for cross-backend bit-identical scores (see diversity_score).
+    return sum(
+        sorted(coverage_map([community.influenced for community in selection]).values())
+    )

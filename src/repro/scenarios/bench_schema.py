@@ -1,0 +1,136 @@
+"""Validation of ``BENCH_*.json`` documents against the checked-in schema.
+
+The repo pins a JSON-schema file next to this module
+(``bench_record.schema.json``) describing the envelope every benchmark
+document must carry: ``bench``, ``recorded_unix``, ``cpu_count``, ``seed``,
+``speedup`` and ``equivalence`` at the top level, plus per-scenario sections
+for ``BENCH_scenarios.json``.  CI's ``bench-schema`` step runs every
+``BENCH_*.json`` in the repo through :func:`validate_bench_document` (via
+``repro scenario validate``) so a recorder that drifts from the contract
+fails the pull request, not a reader six months later.
+
+The container may not ship the ``jsonschema`` package, so
+:func:`validate_instance` implements the small, self-contained subset of
+JSON Schema the pinned file actually uses: ``type``, ``required``,
+``properties``, ``additionalProperties`` (boolean or schema), ``items``,
+``enum``, ``minimum`` and ``maximum``.  Keys outside that subset (``title``,
+``description``, ``$schema``…) are ignored, exactly as an annotating
+validator would.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import ScenarioError
+
+#: The pinned schema shipped with the package.
+SCHEMA_PATH = Path(__file__).with_name("bench_record.schema.json")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def load_bench_schema() -> dict:
+    """Load the packaged BENCH-record schema."""
+    try:
+        return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:  # pragma: no cover - packaging error
+        raise ScenarioError(f"bench schema missing: {SCHEMA_PATH}") from exc
+
+
+def _type_ok(value, type_name: str) -> bool:
+    expected = _TYPES.get(type_name)
+    if expected is None:
+        raise ScenarioError(f"schema uses unsupported type {type_name!r}")
+    if isinstance(value, bool) and type_name in ("integer", "number"):
+        return False  # bool is an int in Python but not in JSON Schema
+    return isinstance(value, expected)
+
+
+def validate_instance(instance, schema: dict, path: str = "$") -> list:
+    """Validate ``instance`` against the supported JSON-schema subset.
+
+    Returns a list of human-readable error strings (empty = valid); it never
+    raises on invalid *data*, only on schema constructs outside the subset.
+    """
+    errors: list = []
+    type_name = schema.get("type")
+    if type_name is not None and not _type_ok(instance, type_name):
+        errors.append(
+            f"{path}: expected {type_name}, got {type(instance).__name__}"
+        )
+        return errors  # structure is wrong; deeper checks would be noise
+
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        errors.append(f"{path}: {instance!r} is not one of {enum}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and instance < minimum:
+            errors.append(f"{path}: {instance} is below minimum {minimum}")
+        maximum = schema.get("maximum")
+        if maximum is not None and instance > maximum:
+            errors.append(f"{path}: {instance} is above maximum {maximum}")
+
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required field {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            key_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate_instance(value, properties[key], key_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected field {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate_instance(value, additional, key_path))
+
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                errors.extend(validate_instance(value, items, f"{path}[{index}]"))
+
+    return errors
+
+
+def validate_bench_document(document, schema: Optional[dict] = None) -> list:
+    """Errors for one parsed BENCH document (empty list = conforming)."""
+    return validate_instance(document, schema or load_bench_schema())
+
+
+def validate_bench_file(path: Union[str, Path], schema: Optional[dict] = None) -> list:
+    """Errors for one ``BENCH_*.json`` file on disk (empty list = conforming)."""
+    path = Path(path)
+    if not path.exists():
+        return [f"{path}: file not found"]
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    return [
+        f"{path.name} {error}"
+        for error in validate_bench_document(document, schema)
+    ]
+
+
+__all__ = [
+    "SCHEMA_PATH",
+    "load_bench_schema",
+    "validate_bench_document",
+    "validate_bench_file",
+    "validate_instance",
+]

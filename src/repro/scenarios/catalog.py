@@ -1,0 +1,210 @@
+"""The built-in scenario catalog.
+
+Seven screening scenarios crossing the generator recipes with the
+probability models and traffic shapes — the declarative analogue of the
+paper's Table II/III grid, sized for CI.  Four are marked ``smoke`` and run
+on every pull request (the ``scenario-smoke`` job); the remaining three
+join them in the nightly full-catalog run.
+
+Every entry is a plain document validated through
+:meth:`~repro.scenarios.spec.ScenarioSpec.from_dict`, so the catalog
+exercises exactly the same parsing path as user-supplied ``.toml`` /
+``.json`` scenario files — there is no privileged internal constructor.
+
+Adding a scenario is an append here (plus a row in ``docs/scenarios.md``);
+keep smoke entries small — the PR gate budget is a few seconds per
+scenario, not minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+#: The catalog source documents (see module docstring before editing).
+_CATALOG_DOCUMENTS = (
+    {
+        "scenario": {
+            "name": "planted-wc-bursty",
+            "description": (
+                "Planted communities under weighted-cascade probabilities, "
+                "bursty dashboard traffic"
+            ),
+            "seed": 101,
+            "smoke": True,
+        },
+        "graph": {
+            "recipe": "planted",
+            "num_vertices": 220,
+            "keyword_domain": 12,
+            "params": {"communities": 5, "intra_probability": 0.3},
+        },
+        "probabilities": {"model": "weighted_cascade", "scale": 1.0},
+        "trace": {"kind": "bursty", "operations": 18, "burst_length": 3},
+        "queries": {"num_keywords": 4, "k": 3, "radius": 2, "theta": 0.01, "top_l": 3},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 3},
+    },
+    {
+        "scenario": {
+            "name": "powerlaw-tri-hotkey",
+            "description": (
+                "Barabási–Albert heavy tail under trivalency probabilities, "
+                "hot-key-skewed query stream"
+            ),
+            "seed": 102,
+            "smoke": True,
+        },
+        "graph": {
+            "recipe": "power_law",
+            "num_vertices": 240,
+            "keyword_domain": 12,
+            "params": {"edges_per_vertex": 4},
+        },
+        "probabilities": {"model": "trivalency"},
+        "trace": {"kind": "hot_key_skew", "operations": 18, "hot_keys": 4},
+        "queries": {"num_keywords": 4, "k": 3, "radius": 2, "theta": 0.005, "top_l": 3},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 3},
+    },
+    {
+        "scenario": {
+            "name": "smallworld-asgen-bursty",
+            "description": (
+                "Newman–Watts–Strogatz ring with generated probabilities, "
+                "bursty traffic with a diversified tail"
+            ),
+            "seed": 103,
+            "smoke": True,
+        },
+        "graph": {
+            "recipe": "small_world",
+            "num_vertices": 200,
+            "keyword_domain": 10,
+            "params": {"ring_neighbors": 6, "shortcut_probability": 0.2},
+        },
+        "probabilities": {"model": "as_generated"},
+        "trace": {"kind": "bursty", "operations": 18, "dtopl_share": 0.35},
+        "queries": {"num_keywords": 3, "k": 3, "radius": 2, "theta": 0.1, "top_l": 3},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 3},
+    },
+    {
+        "scenario": {
+            "name": "bipartite-wc-churn",
+            "description": (
+                "Two-mode graph with sparse triangle closure, weighted "
+                "cascade, adversarial churn around the hottest vertex"
+            ),
+            "seed": 104,
+            "smoke": True,
+        },
+        "graph": {
+            "recipe": "bipartite",
+            "num_vertices": 200,
+            "keyword_domain": 10,
+            "params": {"edges_per_right": 3, "closure_probability": 0.35},
+        },
+        "probabilities": {"model": "weighted_cascade", "scale": 1.0},
+        "trace": {
+            "kind": "adversarial_churn",
+            "operations": 18,
+            "update_share": 0.25,
+            "edits_per_update": 5,
+        },
+        "queries": {"num_keywords": 4, "k": 3, "radius": 2, "theta": 0.01, "top_l": 3},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 1},
+    },
+    {
+        "scenario": {
+            "name": "dblp-tri-churn",
+            "description": (
+                "DBLP-style co-authorship cliques under trivalency, "
+                "adversarial churn (nightly)"
+            ),
+            "seed": 105,
+        },
+        "graph": {"recipe": "dblp_like", "num_vertices": 300, "keyword_domain": 14},
+        "probabilities": {"model": "trivalency"},
+        "trace": {
+            "kind": "adversarial_churn",
+            "operations": 24,
+            "update_share": 0.2,
+            "edits_per_update": 8,
+        },
+        "queries": {"num_keywords": 4, "k": 3, "radius": 2, "theta": 0.005, "top_l": 5},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 5},
+    },
+    {
+        "scenario": {
+            "name": "amazon-wc-hotkey",
+            "description": (
+                "Amazon-style co-purchase backbone under weighted cascade, "
+                "hot-key-skewed reads (nightly)"
+            ),
+            "seed": 106,
+        },
+        "graph": {"recipe": "amazon_like", "num_vertices": 400, "keyword_domain": 14},
+        "probabilities": {"model": "weighted_cascade", "scale": 1.0},
+        "trace": {"kind": "hot_key_skew", "operations": 30, "hot_keys": 6},
+        "queries": {"num_keywords": 4, "k": 3, "radius": 2, "theta": 0.01, "top_l": 5},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 5},
+    },
+    {
+        "scenario": {
+            "name": "erdosrenyi-asgen-bursty",
+            "description": (
+                "G(n, p) no-structure control with generated probabilities, "
+                "bursty traffic (nightly)"
+            ),
+            "seed": 107,
+        },
+        "graph": {
+            "recipe": "erdos_renyi",
+            "num_vertices": 320,
+            "keyword_domain": 12,
+            "params": {"mean_degree": 10.0},
+        },
+        "probabilities": {"model": "as_generated"},
+        "trace": {"kind": "bursty", "operations": 24, "burst_length": 4},
+        "queries": {"num_keywords": 3, "k": 3, "radius": 2, "theta": 0.1, "top_l": 3},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 3},
+    },
+)
+
+_cached: Optional[tuple] = None
+
+
+def catalog() -> tuple:
+    """All built-in scenarios, validated, in declaration order."""
+    global _cached
+    if _cached is None:
+        specs = tuple(ScenarioSpec.from_dict(doc) for doc in _CATALOG_DOCUMENTS)
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):  # pragma: no cover - author error guard
+            raise ScenarioError(f"duplicate scenario names in catalog: {names}")
+        _cached = specs
+    return _cached
+
+
+def smoke_catalog() -> tuple:
+    """The PR-gate subset: scenarios marked ``smoke``."""
+    return tuple(spec for spec in catalog() if spec.smoke)
+
+
+def scenario_names(smoke_only: bool = False) -> tuple:
+    """Catalog names, optionally restricted to the smoke subset."""
+    specs = smoke_catalog() if smoke_only else catalog()
+    return tuple(spec.name for spec in specs)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look one scenario up by name; unknown names list the catalog."""
+    for spec in catalog():
+        if spec.name == name:
+            return spec
+    raise ScenarioError(
+        f"unknown scenario {name!r}; catalog: {', '.join(scenario_names())}"
+    )
+
+
+__all__ = ["catalog", "get_scenario", "scenario_names", "smoke_catalog"]

@@ -1,0 +1,234 @@
+"""Scenario graph construction: recipes × probability models.
+
+A :class:`~repro.scenarios.spec.GraphSpec` names a *recipe* — one entry of
+the generator catalog below — and a :class:`~repro.scenarios.spec.ProbabilitySpec`
+names the edge-probability model layered on top of the generated structure.
+Everything is a deterministic function of the scenario seed: the same spec
+always yields the same graph, byte for byte, which is what lets two backends
+replay the same trace against provably identical inputs.
+
+Recipes
+-------
+``planted``
+    Stochastic block model with dense planted communities (the repo's
+    canonical truss-rich benchmark graph).
+``power_law``
+    Barabási–Albert preferential attachment (heavy-tailed degrees).
+``small_world``
+    Newman–Watts–Strogatz ring + shortcuts (the paper's synthetic family).
+``bipartite``
+    Mostly-bipartite two-mode graph with sparse triangle closure
+    (:func:`repro.graph.generators.bipartite_ish_graph`).
+``erdos_renyi``
+    G(n, p) — the no-structure control.
+``dblp_like`` / ``amazon_like``
+    The Table-II real-dataset stand-ins from :mod:`repro.graph.datasets`.
+
+Probability models
+------------------
+``as_generated``
+    Keep the probabilities the recipe drew (uniform in ``[0.5, 0.6)``).
+``weighted_cascade``
+    ``p(u -> v) = min(1, scale / deg(v))`` — the classic IC weighted-cascade
+    assignment; influence concentrates on low-degree targets.
+``trivalency``
+    Each direction drawn uniformly from the spec's ``values``
+    (default ``{0.1, 0.01, 0.001}``, the TRIVALENCY model of the IM
+    literature).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ScenarioError
+from repro.graph.datasets import amazon_like, dblp_like
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    bipartite_ish_graph,
+    erdos_renyi_graph,
+    newman_watts_strogatz_graph,
+    planted_community_graph,
+)
+from repro.graph.keyword_assignment import assign_keywords
+from repro.graph.social_network import SocialNetwork
+from repro.graph.validation import largest_connected_component
+from repro.scenarios.spec import GraphSpec, ProbabilitySpec, ScenarioSpec
+
+
+def _check_params(params: dict, allowed, recipe: str) -> None:
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ScenarioError(
+            f"graph recipe {recipe!r} does not accept params {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _build_planted(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(
+        spec.params, ("communities", "intra_probability", "inter_probability"), "planted"
+    )
+    communities = int(spec.params.get("communities", max(2, spec.num_vertices // 50)))
+    if communities < 1:
+        raise ScenarioError(f"planted.communities must be >= 1, got {communities}")
+    base, extra = divmod(spec.num_vertices, communities)
+    if base == 0:
+        raise ScenarioError(
+            f"planted recipe needs num_vertices >= communities "
+            f"({spec.num_vertices} < {communities})"
+        )
+    sizes = [base + (1 if i < extra else 0) for i in range(communities)]
+    return planted_community_graph(
+        sizes,
+        intra_probability=float(spec.params.get("intra_probability", 0.3)),
+        inter_probability=float(spec.params.get("inter_probability", 0.01)),
+        rng=rng,
+        name=f"planted-{communities}x{base}",
+    )
+
+
+def _build_power_law(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(spec.params, ("edges_per_vertex",), "power_law")
+    return barabasi_albert_graph(
+        spec.num_vertices,
+        edges_per_vertex=int(spec.params.get("edges_per_vertex", 3)),
+        rng=rng,
+        name="power-law",
+    )
+
+
+def _build_small_world(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(spec.params, ("ring_neighbors", "shortcut_probability"), "small_world")
+    return newman_watts_strogatz_graph(
+        spec.num_vertices,
+        ring_neighbors=int(spec.params.get("ring_neighbors", 6)),
+        shortcut_probability=float(spec.params.get("shortcut_probability", 0.167)),
+        rng=rng,
+        name="small-world",
+    )
+
+
+def _build_bipartite(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(
+        spec.params,
+        ("right_fraction", "edges_per_right", "closure_probability"),
+        "bipartite",
+    )
+    right_fraction = float(spec.params.get("right_fraction", 0.5))
+    if not 0.0 < right_fraction < 1.0:
+        raise ScenarioError(
+            f"bipartite.right_fraction must be in (0, 1), got {right_fraction}"
+        )
+    num_right = max(1, int(spec.num_vertices * right_fraction))
+    num_left = max(2, spec.num_vertices - num_right)
+    return bipartite_ish_graph(
+        num_left,
+        num_right,
+        edges_per_right=int(spec.params.get("edges_per_right", 3)),
+        closure_probability=float(spec.params.get("closure_probability", 0.25)),
+        rng=rng,
+        name="bipartite-ish",
+    )
+
+
+def _build_erdos_renyi(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(spec.params, ("edge_probability", "mean_degree"), "erdos_renyi")
+    if "edge_probability" in spec.params:
+        probability = float(spec.params["edge_probability"])
+    else:
+        # Hold the mean degree (default 8) instead of p, so the recipe stays
+        # sparse when scaled up rather than densifying quadratically.
+        mean_degree = float(spec.params.get("mean_degree", 8.0))
+        probability = min(1.0, mean_degree / max(spec.num_vertices - 1, 1))
+    return erdos_renyi_graph(
+        spec.num_vertices, probability, rng=rng, name="erdos-renyi"
+    )
+
+
+def _build_dblp_like(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(spec.params, (), "dblp_like")
+    return dblp_like(
+        num_vertices=spec.num_vertices,
+        keywords_per_vertex=spec.keywords_per_vertex,
+        domain_size=spec.keyword_domain,
+        rng=rng,
+    )
+
+
+def _build_amazon_like(spec: GraphSpec, rng: random.Random) -> SocialNetwork:
+    _check_params(spec.params, (), "amazon_like")
+    return amazon_like(
+        num_vertices=spec.num_vertices,
+        keywords_per_vertex=spec.keywords_per_vertex,
+        domain_size=spec.keyword_domain,
+        rng=rng,
+    )
+
+
+#: recipe name -> builder; the keys mirror spec.GRAPH_RECIPES.
+_RECIPES = {
+    "planted": _build_planted,
+    "power_law": _build_power_law,
+    "small_world": _build_small_world,
+    "bipartite": _build_bipartite,
+    "erdos_renyi": _build_erdos_renyi,
+    "dblp_like": _build_dblp_like,
+    "amazon_like": _build_amazon_like,
+}
+
+
+def apply_probability_model(
+    graph: SocialNetwork, spec: ProbabilitySpec, rng: random.Random
+) -> SocialNetwork:
+    """Re-draw every directional edge probability under the spec's model.
+
+    Mutates and returns ``graph``.  ``weighted_cascade`` is rng-free (pure
+    function of the degree sequence); ``trivalency`` consumes ``rng`` in
+    edge-iteration order, which is deterministic for a seeded build.
+    """
+    if spec.model == "as_generated":
+        return graph
+    if spec.model == "weighted_cascade":
+        for u, v in graph.edges():
+            graph.set_probability(u, v, min(1.0, spec.scale / graph.degree(v)))
+            graph.set_probability(v, u, min(1.0, spec.scale / graph.degree(u)))
+        return graph
+    if spec.model == "trivalency":
+        values = list(spec.values)
+        for u, v in graph.edges():
+            graph.set_probability(u, v, rng.choice(values))
+            graph.set_probability(v, u, rng.choice(values))
+        return graph
+    raise ScenarioError(f"unknown probability model {spec.model!r}")  # pragma: no cover
+
+
+def build_scenario_graph(spec: ScenarioSpec) -> SocialNetwork:
+    """Materialise the scenario's network: recipe → LCC → keywords → probabilities.
+
+    The tail mirrors the dataset loaders (largest connected component +
+    keyword assignment) so every scenario exercises the exact code paths of
+    the paper's evaluation graphs; the probability model is applied last so
+    it sees the final edge set.
+    """
+    builder = _RECIPES.get(spec.graph.recipe)
+    if builder is None:  # pragma: no cover - spec validation rejects this first
+        raise ScenarioError(f"unknown graph recipe {spec.graph.recipe!r}")
+    graph = builder(spec.graph, random.Random(f"{spec.seed}:graph"))
+    name = graph.name
+    graph = largest_connected_component(graph)
+    graph.name = name
+    assign_keywords(
+        graph,
+        keywords_per_vertex=spec.graph.keywords_per_vertex,
+        distribution=spec.graph.keyword_distribution,
+        domain_size=spec.graph.keyword_domain,
+        rng=random.Random(f"{spec.seed}:keywords"),
+    )
+    apply_probability_model(
+        graph, spec.probabilities, random.Random(f"{spec.seed}:probabilities")
+    )
+    return graph
+
+
+__all__ = ["apply_probability_model", "build_scenario_graph"]

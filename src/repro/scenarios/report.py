@@ -1,0 +1,115 @@
+"""Scenario run reporting: ``BENCH_scenarios.json`` + ASCII summaries.
+
+:func:`scenarios_document` folds a list of
+:class:`~repro.scenarios.pipeline.ScenarioReport` values into one BENCH
+document: the uniform envelope
+(:func:`repro.workloads.reporting.bench_envelope` — headline ``speedup`` is
+the median across scenarios, ``equivalence`` the conjunction) plus a
+``scenarios`` object with one section per scenario.  The document validates
+against ``bench_record.schema.json``; :func:`load_scenarios_document` is the
+strict reader the round-trip test and the report CLI use.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.bench_schema import validate_bench_document
+from repro.scenarios.pipeline import ScenarioReport
+from repro.workloads.reporting import bench_envelope, format_table
+
+#: ``bench`` field of the scenarios document.
+BENCH_NAME = "scenarios"
+
+
+def scenarios_document(reports) -> dict:
+    """Fold scenario reports into one BENCH_scenarios.json document."""
+    reports = list(reports)
+    if not reports:
+        raise ScenarioError("cannot build a scenarios document from zero reports")
+    document = bench_envelope(
+        BENCH_NAME,
+        seed=reports[0].seed,
+        speedup_factor=statistics.median(report.speedup for report in reports),
+        equivalence=all(report.equivalence for report in reports),
+    )
+    document["gates_passed"] = all(report.passed for report in reports)
+    document["scenarios"] = {
+        report.scenario: report.to_json() for report in reports
+    }
+    return document
+
+
+def write_scenarios_document(reports, path: Union[str, Path]) -> dict:
+    """Write the document to ``path`` (pretty-printed, trailing newline)."""
+    document = scenarios_document(reports)
+    errors = validate_bench_document(document)
+    if errors:  # pragma: no cover - the writer emitting bad documents is a bug
+        raise ScenarioError(
+            "refusing to write a non-conforming scenarios document: "
+            + "; ".join(errors)
+        )
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def load_scenarios_document(path: Union[str, Path]) -> list:
+    """Read a BENCH_scenarios.json back into :class:`ScenarioReport` values."""
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(f"scenarios document not found: {path}")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"invalid JSON in {path}: {exc}") from exc
+    errors = validate_bench_document(document)
+    if errors:
+        raise ScenarioError(
+            f"{path} does not conform to the BENCH schema: " + "; ".join(errors)
+        )
+    if document.get("bench") != BENCH_NAME:
+        raise ScenarioError(
+            f"{path} is a {document.get('bench')!r} document, expected {BENCH_NAME!r}"
+        )
+    sections = document.get("scenarios", {})
+    return [ScenarioReport.from_json(section) for section in sections.values()]
+
+
+def format_scenario_table(reports, title: str = "scenario screening") -> str:
+    """ASCII summary of scenario runs (one row per scenario)."""
+    rows = []
+    for report in sorted(reports, key=lambda r: r.scenario):
+        reference = report.backends.get("reference", {})
+        fast = report.backends.get("fast", {})
+        rows.append(
+            {
+                "scenario": report.scenario,
+                "recipe": report.graph.get("recipe", "?"),
+                "model": report.spec.get("probabilities", {}).get("model", "?"),
+                "trace": report.trace.get("kind", "?"),
+                "|V|": report.graph.get("num_vertices", 0),
+                "|E|": report.graph.get("num_edges", 0),
+                "ops": report.trace.get("operations", 0),
+                "ref_s": round(float(reference.get("total_seconds", 0.0)), 3),
+                "fast_s": round(float(fast.get("total_seconds", 0.0)), 3),
+                "speedup": report.speedup,
+                "equiv": "yes" if report.equivalence else "NO",
+                "gates": "pass" if report.passed else "FAIL",
+            }
+        )
+    return format_table(rows, title=title)
+
+
+__all__ = [
+    "BENCH_NAME",
+    "format_scenario_table",
+    "load_scenarios_document",
+    "scenarios_document",
+    "write_scenarios_document",
+]

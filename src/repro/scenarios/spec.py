@@ -1,0 +1,594 @@
+"""Declarative scenario specifications.
+
+A *scenario* is one reproducible end-to-end workload: a graph recipe, a
+probability model layered on top of it, a traffic trace (mixed reads +
+updates) replayed through :class:`~repro.service.facade.CommunityService`,
+and the gates its report must clear.  Scenarios are declared as plain
+dictionaries — loadable from TOML (Python ≥ 3.11) or JSON documents — and
+validated strictly: unknown sections or keys are rejected, so a typo in a
+spec file fails loudly instead of silently running the defaults.
+
+The spec is *purely declarative*: everything downstream (graph construction,
+trace synthesis, query sampling) is a deterministic function of the spec and
+its ``seed``, which is what makes a scenario a reproducible benchmark unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ScenarioError
+
+PathLike = Union[str, Path]
+
+#: Graph recipes the catalog of generators understands (see generators.py).
+GRAPH_RECIPES = (
+    "planted",
+    "power_law",
+    "small_world",
+    "bipartite",
+    "erdos_renyi",
+    "dblp_like",
+    "amazon_like",
+)
+
+#: Edge-probability models (see generators.apply_probability_model).
+PROBABILITY_MODELS = ("as_generated", "weighted_cascade", "trivalency")
+
+#: Traffic-trace kinds (see traces.py).
+TRACE_KINDS = ("bursty", "hot_key_skew", "adversarial_churn")
+
+
+def _require_mapping(value, what: str) -> dict:
+    if not isinstance(value, dict):
+        raise ScenarioError(f"{what} must be a table/object, got {type(value).__name__}")
+    return dict(value)
+
+
+def _reject_unknown(payload: dict, allowed, what: str) -> None:
+    unknown = set(payload) - set(allowed)
+    if unknown:
+        raise ScenarioError(
+            f"{what} carries unknown keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+
+
+def _typed(payload: dict, key: str, types, what: str, default):
+    value = payload.get(key, default)
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise ScenarioError(f"{what}.{key} must not be a boolean, got {value!r}")
+    if not isinstance(value, types):
+        names = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        raise ScenarioError(
+            f"{what}.{key} must be {names}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def _positive(value, key: str, what: str):
+    if value <= 0:
+        raise ScenarioError(f"{what}.{key} must be positive, got {value}")
+    return value
+
+
+def _fraction(value, key: str, what: str):
+    if not 0.0 <= float(value) <= 1.0:
+        raise ScenarioError(f"{what}.{key} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """The ``[graph]`` section: which generator builds the network and how big.
+
+    ``recipe`` picks one of :data:`GRAPH_RECIPES`; ``params`` carries
+    recipe-specific knobs (validated by the generator catalog when the graph
+    is actually built).  Keyword assignment mirrors the dataset loaders so
+    every scenario exercises the same query machinery.
+    """
+
+    recipe: str = "small_world"
+    num_vertices: int = 200
+    keywords_per_vertex: int = 3
+    keyword_domain: int = 40
+    keyword_distribution: str = "uniform"
+    params: dict = field(default_factory=dict)
+
+    _KEYS = (
+        "recipe",
+        "num_vertices",
+        "keywords_per_vertex",
+        "keyword_domain",
+        "keyword_distribution",
+        "params",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GraphSpec":
+        payload = _require_mapping(payload, "[graph]")
+        _reject_unknown(payload, cls._KEYS, "[graph]")
+        spec = cls(
+            recipe=_typed(payload, "recipe", str, "graph", cls.recipe),
+            num_vertices=_positive(
+                _typed(payload, "num_vertices", int, "graph", cls.num_vertices),
+                "num_vertices",
+                "graph",
+            ),
+            keywords_per_vertex=_positive(
+                _typed(
+                    payload, "keywords_per_vertex", int, "graph", cls.keywords_per_vertex
+                ),
+                "keywords_per_vertex",
+                "graph",
+            ),
+            keyword_domain=_positive(
+                _typed(payload, "keyword_domain", int, "graph", cls.keyword_domain),
+                "keyword_domain",
+                "graph",
+            ),
+            keyword_distribution=_typed(
+                payload, "keyword_distribution", str, "graph", cls.keyword_distribution
+            ),
+            params=_require_mapping(payload.get("params", {}), "graph.params"),
+        )
+        if spec.recipe not in GRAPH_RECIPES:
+            raise ScenarioError(
+                f"graph.recipe must be one of {GRAPH_RECIPES}, got {spec.recipe!r}"
+            )
+        if spec.keyword_distribution not in ("uniform", "gaussian", "zipf"):
+            raise ScenarioError(
+                "graph.keyword_distribution must be uniform/gaussian/zipf, "
+                f"got {spec.keyword_distribution!r}"
+            )
+        return spec
+
+    def to_dict(self) -> dict:
+        return {
+            "recipe": self.recipe,
+            "num_vertices": self.num_vertices,
+            "keywords_per_vertex": self.keywords_per_vertex,
+            "keyword_domain": self.keyword_domain,
+            "keyword_distribution": self.keyword_distribution,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class ProbabilitySpec:
+    """The ``[probabilities]`` section: how edge activation probabilities arise.
+
+    ``as_generated`` keeps whatever the recipe drew; ``weighted_cascade``
+    sets ``p(u -> v) = scale / deg(v)`` (the classic IC weighted-cascade
+    model); ``trivalency`` draws each direction uniformly from ``values``.
+    """
+
+    model: str = "as_generated"
+    scale: float = 1.0
+    values: tuple = (0.1, 0.01, 0.001)
+
+    _KEYS = ("model", "scale", "values")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProbabilitySpec":
+        payload = _require_mapping(payload, "[probabilities]")
+        _reject_unknown(payload, cls._KEYS, "[probabilities]")
+        model = _typed(payload, "model", str, "probabilities", cls.model)
+        if model not in PROBABILITY_MODELS:
+            raise ScenarioError(
+                f"probabilities.model must be one of {PROBABILITY_MODELS}, got {model!r}"
+            )
+        scale = float(
+            _typed(payload, "scale", (int, float), "probabilities", cls.scale)
+        )
+        if scale <= 0:
+            raise ScenarioError(f"probabilities.scale must be positive, got {scale}")
+        raw_values = payload.get("values", list(cls.values))
+        if not isinstance(raw_values, (list, tuple)) or not raw_values:
+            raise ScenarioError(
+                f"probabilities.values must be a non-empty list, got {raw_values!r}"
+            )
+        values = []
+        for value in raw_values:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ScenarioError(
+                    f"probabilities.values entries must be numbers, got {value!r}"
+                )
+            if not 0.0 <= float(value) <= 1.0:
+                raise ScenarioError(
+                    f"probabilities.values entries must be in [0, 1], got {value}"
+                )
+            values.append(float(value))
+        return cls(model=model, scale=scale, values=tuple(values))
+
+    def to_dict(self) -> dict:
+        return {"model": self.model, "scale": self.scale, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """The ``[trace]`` section: the mixed read/update traffic to replay.
+
+    ``operations`` counts trace steps; ``update_share`` of them are edit
+    batches of ``edits_per_update`` edges each, the rest are queries
+    (``dtopl_share`` of those diversified).  ``kind`` shapes *how* the
+    queries and edits are distributed:
+
+    * ``bursty`` — queries arrive in bursts of ``burst_length`` repeats of
+      one query shape (warm-cache traffic), updates punctuate the bursts.
+    * ``hot_key_skew`` — query keyword sets are drawn from a small pool of
+      ``hot_keys`` shapes with a heavy skew towards the hottest ones.
+    * ``adversarial_churn`` — every update batch churns the same focus
+      neighbourhood while queries keep targeting it, maximising cache
+      invalidation and incremental-maintenance pressure.
+    """
+
+    kind: str = "bursty"
+    operations: int = 24
+    update_share: float = 0.15
+    edits_per_update: int = 6
+    dtopl_share: float = 0.25
+    burst_length: int = 4
+    hot_keys: int = 4
+    focus_radius: int = 2
+
+    _KEYS = (
+        "kind",
+        "operations",
+        "update_share",
+        "edits_per_update",
+        "dtopl_share",
+        "burst_length",
+        "hot_keys",
+        "focus_radius",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSpec":
+        payload = _require_mapping(payload, "[trace]")
+        _reject_unknown(payload, cls._KEYS, "[trace]")
+        kind = _typed(payload, "kind", str, "trace", cls.kind)
+        if kind not in TRACE_KINDS:
+            raise ScenarioError(
+                f"trace.kind must be one of {TRACE_KINDS}, got {kind!r}"
+            )
+        return cls(
+            kind=kind,
+            operations=_positive(
+                _typed(payload, "operations", int, "trace", cls.operations),
+                "operations",
+                "trace",
+            ),
+            update_share=_fraction(
+                _typed(
+                    payload, "update_share", (int, float), "trace", cls.update_share
+                ),
+                "update_share",
+                "trace",
+            ),
+            edits_per_update=_positive(
+                _typed(payload, "edits_per_update", int, "trace", cls.edits_per_update),
+                "edits_per_update",
+                "trace",
+            ),
+            dtopl_share=_fraction(
+                _typed(payload, "dtopl_share", (int, float), "trace", cls.dtopl_share),
+                "dtopl_share",
+                "trace",
+            ),
+            burst_length=_positive(
+                _typed(payload, "burst_length", int, "trace", cls.burst_length),
+                "burst_length",
+                "trace",
+            ),
+            hot_keys=_positive(
+                _typed(payload, "hot_keys", int, "trace", cls.hot_keys),
+                "hot_keys",
+                "trace",
+            ),
+            focus_radius=_positive(
+                _typed(payload, "focus_radius", int, "trace", cls.focus_radius),
+                "focus_radius",
+                "trace",
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "operations": self.operations,
+            "update_share": self.update_share,
+            "edits_per_update": self.edits_per_update,
+            "dtopl_share": self.dtopl_share,
+            "burst_length": self.burst_length,
+            "hot_keys": self.hot_keys,
+            "focus_radius": self.focus_radius,
+        }
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """The ``[queries]`` section: parameter shape of the trace's queries."""
+
+    num_keywords: int = 4
+    k: int = 3
+    radius: int = 2
+    theta: float = 0.1
+    top_l: int = 3
+    candidate_factor: int = 3
+
+    _KEYS = ("num_keywords", "k", "radius", "theta", "top_l", "candidate_factor")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuerySpec":
+        payload = _require_mapping(payload, "[queries]")
+        _reject_unknown(payload, cls._KEYS, "[queries]")
+        spec = cls(
+            num_keywords=_typed(payload, "num_keywords", int, "queries", cls.num_keywords),
+            k=_typed(payload, "k", int, "queries", cls.k),
+            radius=_typed(payload, "radius", int, "queries", cls.radius),
+            theta=float(_typed(payload, "theta", (int, float), "queries", cls.theta)),
+            top_l=_typed(payload, "top_l", int, "queries", cls.top_l),
+            candidate_factor=_typed(
+                payload, "candidate_factor", int, "queries", cls.candidate_factor
+            ),
+        )
+        # Domain checks mirror TopLQuery/DTopLQuery so a bad spec fails at
+        # parse time, before any graph is built.
+        if spec.num_keywords < 1:
+            raise ScenarioError(f"queries.num_keywords must be >= 1, got {spec.num_keywords}")
+        if spec.k < 2:
+            raise ScenarioError(f"queries.k must be >= 2, got {spec.k}")
+        if spec.radius < 1:
+            raise ScenarioError(f"queries.radius must be >= 1, got {spec.radius}")
+        if not 0.0 <= spec.theta < 1.0:
+            raise ScenarioError(f"queries.theta must be in [0, 1), got {spec.theta}")
+        if spec.top_l < 1:
+            raise ScenarioError(f"queries.top_l must be >= 1, got {spec.top_l}")
+        if spec.candidate_factor < 1:
+            raise ScenarioError(
+                f"queries.candidate_factor must be >= 1, got {spec.candidate_factor}"
+            )
+        return spec
+
+    def to_dict(self) -> dict:
+        return {
+            "num_keywords": self.num_keywords,
+            "k": self.k,
+            "radius": self.radius,
+            "theta": self.theta,
+            "top_l": self.top_l,
+            "candidate_factor": self.candidate_factor,
+        }
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """The ``[engine]`` section: offline-phase knobs shared by both backends."""
+
+    max_radius: int = 2
+    thresholds: tuple = (0.1, 0.2, 0.3)
+    damage_threshold: float = 1.0
+
+    _KEYS = ("max_radius", "thresholds", "damage_threshold")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineSpec":
+        payload = _require_mapping(payload, "[engine]")
+        _reject_unknown(payload, cls._KEYS, "[engine]")
+        max_radius = _typed(payload, "max_radius", int, "engine", cls.max_radius)
+        if max_radius < 1:
+            raise ScenarioError(f"engine.max_radius must be >= 1, got {max_radius}")
+        raw = payload.get("thresholds", list(cls.thresholds))
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ScenarioError(f"engine.thresholds must be a non-empty list, got {raw!r}")
+        thresholds = []
+        for value in raw:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ScenarioError(
+                    f"engine.thresholds entries must be numbers, got {value!r}"
+                )
+            thresholds.append(float(value))
+        damage = _fraction(
+            _typed(
+                payload, "damage_threshold", (int, float), "engine", cls.damage_threshold
+            ),
+            "damage_threshold",
+            "engine",
+        )
+        if damage == 0.0:
+            raise ScenarioError("engine.damage_threshold must be in (0, 1], got 0")
+        return cls(
+            max_radius=max_radius, thresholds=tuple(thresholds), damage_threshold=damage
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_radius": self.max_radius,
+            "thresholds": list(self.thresholds),
+            "damage_threshold": self.damage_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """The ``[gates]`` section: what the scenario report must prove.
+
+    ``require_equivalence`` demands bit-identical answers across backends
+    for every trace operation (always on in the built-in catalog).
+    ``min_nonempty_results`` guards against degenerate specs whose every
+    query returns nothing — a scenario that measures an empty workload.
+    """
+
+    require_equivalence: bool = True
+    min_nonempty_results: int = 1
+
+    _KEYS = ("require_equivalence", "min_nonempty_results")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GateSpec":
+        payload = _require_mapping(payload, "[gates]")
+        _reject_unknown(payload, cls._KEYS, "[gates]")
+        require = payload.get("require_equivalence", cls.require_equivalence)
+        if not isinstance(require, bool):
+            raise ScenarioError(
+                f"gates.require_equivalence must be a boolean, got {require!r}"
+            )
+        minimum = _typed(
+            payload, "min_nonempty_results", int, "gates", cls.min_nonempty_results
+        )
+        if minimum < 0:
+            raise ScenarioError(
+                f"gates.min_nonempty_results must be >= 0, got {minimum}"
+            )
+        return cls(require_equivalence=require, min_nonempty_results=minimum)
+
+    def to_dict(self) -> dict:
+        return {
+            "require_equivalence": self.require_equivalence,
+            "min_nonempty_results": self.min_nonempty_results,
+        }
+
+
+_SECTIONS = ("scenario", "graph", "probabilities", "trace", "queries", "engine", "gates")
+_SCENARIO_KEYS = ("name", "description", "seed", "smoke")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-validated scenario: graph × probabilities × trace × gates."""
+
+    name: str
+    description: str = ""
+    seed: int = 2024
+    smoke: bool = False
+    graph: GraphSpec = field(default_factory=GraphSpec)
+    probabilities: ProbabilitySpec = field(default_factory=ProbabilitySpec)
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    queries: QuerySpec = field(default_factory=QuerySpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    gates: GateSpec = field(default_factory=GateSpec)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        """Parse and validate a scenario document; unknown keys are rejected."""
+        payload = _require_mapping(payload, "scenario document")
+        _reject_unknown(payload, _SECTIONS, "scenario document")
+        header = _require_mapping(payload.get("scenario", {}), "[scenario]")
+        _reject_unknown(header, _SCENARIO_KEYS, "[scenario]")
+        name = header.get("name")
+        if not isinstance(name, str) or not name:
+            raise ScenarioError("scenario.name must be a non-empty string")
+        smoke = header.get("smoke", False)
+        if not isinstance(smoke, bool):
+            raise ScenarioError(f"scenario.smoke must be a boolean, got {smoke!r}")
+        spec = cls(
+            name=name,
+            description=_typed(header, "description", str, "scenario", ""),
+            seed=_typed(header, "seed", int, "scenario", 2024),
+            smoke=smoke,
+            graph=GraphSpec.from_dict(payload.get("graph", {})),
+            probabilities=ProbabilitySpec.from_dict(payload.get("probabilities", {})),
+            trace=TraceSpec.from_dict(payload.get("trace", {})),
+            queries=QuerySpec.from_dict(payload.get("queries", {})),
+            engine=EngineSpec.from_dict(payload.get("engine", {})),
+            gates=GateSpec.from_dict(payload.get("gates", {})),
+        )
+        # Cross-section consistency: the engine only indexes communities up
+        # to max_radius hops, so a wider query radius would fail at run time.
+        if spec.queries.radius > spec.engine.max_radius:
+            raise ScenarioError(
+                f"queries.radius ({spec.queries.radius}) exceeds engine.max_radius "
+                f"({spec.engine.max_radius}) in scenario {name!r}"
+            )
+        return spec
+
+    def to_dict(self) -> dict:
+        """The document form of the spec (``from_dict`` round-trips it)."""
+        return {
+            "scenario": {
+                "name": self.name,
+                "description": self.description,
+                "seed": self.seed,
+                "smoke": self.smoke,
+            },
+            "graph": self.graph.to_dict(),
+            "probabilities": self.probabilities.to_dict(),
+            "trace": self.trace.to_dict(),
+            "queries": self.queries.to_dict(),
+            "engine": self.engine.to_dict(),
+            "gates": self.gates.to_dict(),
+        }
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """Return a copy with top-level fields replaced (sections included)."""
+        return dataclasses.replace(self, **changes)
+
+
+def load_scenario_file(path: PathLike) -> ScenarioSpec:
+    """Load one scenario spec from a ``.toml`` or ``.json`` file.
+
+    TOML requires :mod:`tomllib` (Python >= 3.11); on 3.10 use the JSON
+    form — the two documents carry identical structure.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(f"scenario file not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - Python 3.10 only
+            raise ScenarioError(
+                "TOML scenario files need Python >= 3.11 (tomllib); "
+                f"convert {path.name} to JSON for this interpreter"
+            ) from exc
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML in {path}: {exc}") from exc
+    elif path.suffix.lower() == ".json":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON in {path}: {exc}") from exc
+    else:
+        raise ScenarioError(
+            f"scenario files must end in .toml or .json, got {path.name!r}"
+        )
+    return ScenarioSpec.from_dict(document)
+
+
+def scenario_from_json(payload: Union[str, dict]) -> ScenarioSpec:
+    """Parse a scenario spec from a JSON string or an already-decoded dict."""
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+    return ScenarioSpec.from_dict(payload)
+
+
+__all__ = [
+    "GRAPH_RECIPES",
+    "PROBABILITY_MODELS",
+    "TRACE_KINDS",
+    "GraphSpec",
+    "ProbabilitySpec",
+    "TraceSpec",
+    "QuerySpec",
+    "EngineSpec",
+    "GateSpec",
+    "ScenarioSpec",
+    "load_scenario_file",
+    "scenario_from_json",
+]

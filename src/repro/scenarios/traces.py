@@ -1,0 +1,260 @@
+"""Deterministic traffic-trace synthesis for scenarios.
+
+A :class:`TrafficTrace` is the concrete operation sequence a scenario
+replays against both backends: TopL / DTopL queries interleaved with edge
+edit batches.  Synthesis is a pure function of ``(graph, spec)`` — the same
+scenario spec always produces the same trace, operation for operation, which
+is what makes the cross-backend equivalence gate meaningful and the
+determinism test (:mod:`tests.scenarios.test_spec`) possible.
+
+Three traffic shapes are supported (``trace.kind``):
+
+``bursty``
+    Queries arrive in runs of ``burst_length`` repeats of one shape —
+    warm-cache, production-dashboard traffic.
+``hot_key_skew``
+    Keyword sets come from a pool of ``hot_keys`` shapes under a harmonic
+    (1/rank) skew — a few queries dominate, the tail stays cold.
+``adversarial_churn``
+    Every edit batch churns the same high-degree focus neighbourhood while
+    the queries keep hitting the whole graph — worst case for incremental
+    index maintenance and caches.
+
+Edit batches are generated against an *evolving copy* of the graph (each
+batch is applied before the next is drawn), so the whole trace is
+sequentially valid: replaying it through
+:class:`~repro.service.facade.CommunityService` never trips
+``DYNAMIC_UPDATE_INVALID``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.dynamic.updates import UpdateBatch, random_update_batch
+from repro.exceptions import ScenarioError
+from repro.graph.social_network import SocialNetwork
+from repro.query.params import DTopLQuery, TopLQuery, make_dtopl_query, make_topl_query
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.schema import query_to_wire
+
+#: Operation kinds a trace step can carry.
+OP_TOPL = "topl"
+OP_DTOPL = "dtopl"
+OP_UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace step: a query (``topl`` / ``dtopl``) or an edit batch."""
+
+    kind: str
+    query: Optional[Union[TopLQuery, DTopLQuery]] = None
+    edits: Optional[UpdateBatch] = None
+
+    def to_json(self) -> dict:
+        """Canonical JSON form (used for fingerprinting and reports)."""
+        if self.kind == OP_UPDATE:
+            return {"op": self.kind, "edits": self.edits.to_json()}
+        return {"op": self.kind, "query": query_to_wire(self.query)}
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """The full synthesized operation sequence of one scenario."""
+
+    kind: str
+    seed: int
+    ops: tuple
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    @property
+    def num_updates(self) -> int:
+        return sum(1 for op in self.ops if op.kind == OP_UPDATE)
+
+    @property
+    def num_topl(self) -> int:
+        return sum(1 for op in self.ops if op.kind == OP_TOPL)
+
+    @property
+    def num_dtopl(self) -> int:
+        return sum(1 for op in self.ops if op.kind == OP_DTOPL)
+
+    @property
+    def num_queries(self) -> int:
+        return self.num_topl + self.num_dtopl
+
+    @property
+    def num_edits(self) -> int:
+        return sum(len(op.edits) for op in self.ops if op.kind == OP_UPDATE)
+
+    def to_json(self) -> dict:
+        """Canonical JSON form of the whole trace."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "ops": [op.to_json() for op in self.ops],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON — equal iff the traces are equal."""
+        canonical = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def summary(self) -> dict:
+        """Operation counts for reports."""
+        return {
+            "kind": self.kind,
+            "operations": len(self.ops),
+            "queries": self.num_queries,
+            "topl": self.num_topl,
+            "dtopl": self.num_dtopl,
+            "updates": self.num_updates,
+            "edits": self.num_edits,
+        }
+
+
+def _spread(total: int, picks: int):
+    """Yield ``picks`` evenly-spread positions in ``range(total)`` (Bresenham)."""
+    for index in range(total):
+        if (index * picks) // total != ((index + 1) * picks) // total:
+            yield index
+
+
+def _harmonic_choice(rng: random.Random, count: int) -> int:
+    """Pick an index in ``range(count)`` with probability ∝ 1 / (index + 1)."""
+    weights = [1.0 / (rank + 1) for rank in range(count)]
+    threshold = rng.random() * sum(weights)
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if threshold < cumulative:
+            return index
+    return count - 1
+
+
+def _focus_vertex(graph: SocialNetwork):
+    """The deterministic churn target: the highest-degree vertex."""
+    return max(graph.vertices(), key=lambda v: (graph.degree(v), str(v)))
+
+
+def synthesize_trace(graph: SocialNetwork, spec: ScenarioSpec) -> TrafficTrace:
+    """Build the scenario's operation sequence from its spec (deterministic).
+
+    ``graph`` is the already-materialised scenario network
+    (:func:`~repro.scenarios.generators.build_scenario_graph`); it is not
+    mutated — edit batches are drawn against an internal evolving copy.
+    """
+    trace_spec, query_spec = spec.trace, spec.queries
+    operations = trace_spec.operations
+    num_updates = min(operations, round(operations * trace_spec.update_share))
+    num_queries = operations - num_updates
+    num_dtopl = min(num_queries, round(num_queries * trace_spec.dtopl_share))
+
+    domain = sorted(graph.keyword_domain())
+    if not domain:
+        raise ScenarioError(
+            f"scenario {spec.name!r} produced a graph with no keywords"
+        )
+    sample_size = min(query_spec.num_keywords, len(domain))
+
+    query_rng = random.Random(f"{spec.seed}:queries")
+    update_rng = random.Random(f"{spec.seed}:updates")
+
+    def sample_keywords() -> frozenset:
+        return frozenset(query_rng.sample(domain, sample_size))
+
+    # Pre-draw the hot pool for hot_key_skew so pool membership does not
+    # depend on how many queries precede the first draw.
+    hot_pool = [sample_keywords() for _ in range(trace_spec.hot_keys)]
+
+    update_slots = set(_spread(operations, num_updates))
+    dtopl_slots = set(_spread(num_queries, num_dtopl))
+
+    focus = _focus_vertex(graph) if trace_spec.kind == "adversarial_churn" else None
+    evolving = graph.copy()
+
+    def next_batch() -> UpdateBatch:
+        if focus is not None and evolving.has_vertex(focus):
+            batch = random_update_batch(
+                evolving,
+                trace_spec.edits_per_update,
+                rng=update_rng,
+                insert_ratio=0.5,
+                focus=focus,
+                focus_radius=trace_spec.focus_radius,
+            )
+        else:
+            batch = random_update_batch(
+                evolving,
+                trace_spec.edits_per_update,
+                rng=update_rng,
+                insert_ratio=0.6,
+                grow_probability=0.1,
+                keyword_pool=domain,
+            )
+        batch.apply_to(evolving)
+        return batch
+
+    def make_query(keywords: frozenset, diversified: bool):
+        if diversified:
+            return make_dtopl_query(
+                keywords,
+                k=query_spec.k,
+                radius=query_spec.radius,
+                theta=query_spec.theta,
+                top_l=query_spec.top_l,
+                candidate_factor=query_spec.candidate_factor,
+            )
+        return make_topl_query(
+            keywords,
+            k=query_spec.k,
+            radius=query_spec.radius,
+            theta=query_spec.theta,
+            top_l=query_spec.top_l,
+        )
+
+    ops = []
+    query_index = 0
+    burst_keywords: Optional[frozenset] = None
+    for position in range(operations):
+        if position in update_slots:
+            ops.append(TraceOp(kind=OP_UPDATE, edits=next_batch()))
+            continue
+        if trace_spec.kind == "bursty":
+            if query_index % trace_spec.burst_length == 0:
+                burst_keywords = sample_keywords()
+            keywords = burst_keywords
+        elif trace_spec.kind == "hot_key_skew":
+            keywords = hot_pool[_harmonic_choice(query_rng, len(hot_pool))]
+        else:  # adversarial_churn: uniform fresh queries over the churned graph
+            keywords = sample_keywords()
+        diversified = query_index in dtopl_slots
+        ops.append(
+            TraceOp(
+                kind=OP_DTOPL if diversified else OP_TOPL,
+                query=make_query(keywords, diversified),
+            )
+        )
+        query_index += 1
+
+    return TrafficTrace(kind=trace_spec.kind, seed=spec.seed, ops=tuple(ops))
+
+
+__all__ = [
+    "OP_DTOPL",
+    "OP_TOPL",
+    "OP_UPDATE",
+    "TraceOp",
+    "TrafficTrace",
+    "synthesize_trace",
+]

@@ -185,9 +185,14 @@ def community_to_wire(community: SeedCommunity) -> dict:
     Carrying the per-vertex propagation probabilities (not just the score)
     makes the wire form *complete*: two results are equal iff their wire
     forms are equal, which is what the service-vs-direct equivalence suite
-    asserts.  The ``cpp`` pairs keep the engine's discovery order — the
-    influential score is a float sum over them, and preserving summation
-    order is what makes a decode/encode round trip bit-identical.
+    asserts.  The ``cpp`` pairs are emitted in canonical order — probability
+    descending, then vertex — rather than the engine's heap pop order: the
+    backends may pop *equal* probabilities in different orders (dict vs CSR
+    neighbour iteration), and the wire form must not let a client tell the
+    backends apart.  The canonical order preserves the non-increasing value
+    sequence exactly (ties are equal values), so the influential score — a
+    float sum over the pairs — survives a decode/encode round trip
+    bit-identically.
     """
     return {
         "center": community.center,
@@ -197,7 +202,10 @@ def community_to_wire(community: SeedCommunity) -> dict:
         "score": community.score,
         "threshold": community.influenced.threshold,
         "cpp": [
-            [vertex, value] for vertex, value in community.influenced.cpp.items()
+            [vertex, value]
+            for vertex, value in sorted(
+                community.influenced.cpp.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+            )
         ],
     }
 

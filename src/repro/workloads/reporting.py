@@ -8,7 +8,33 @@ copy into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+import time
 from collections.abc import Iterable, Sequence
+
+
+def bench_envelope(bench: str, seed: int, speedup_factor: float, equivalence: bool) -> dict:
+    """The uniform header every ``BENCH_*.json`` document must carry.
+
+    All recorders start their document from this envelope so the fields the
+    checked-in schema requires (``bench``, ``recorded_unix``, ``cpu_count``,
+    ``seed``, ``speedup``, ``equivalence``) are present and shaped the same
+    everywhere — the CI ``bench-schema`` step validates exactly this contract
+    (see ``repro.scenarios.bench_schema``).
+
+    ``speedup_factor`` is the document's *headline* ratio (each bench
+    declares which comparison that is); ``equivalence`` records whether the
+    run proved cross-backend bit-identical answers (pass ``True`` for benches
+    with no second backend to compare — there is nothing to disprove).
+    """
+    return {
+        "bench": str(bench),
+        "recorded_unix": int(time.time()),
+        "cpu_count": os.cpu_count() or 1,
+        "seed": int(seed),
+        "speedup": round(float(speedup_factor), 3),
+        "equivalence": bool(equivalence),
+    }
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:

@@ -1,0 +1,103 @@
+"""The mini JSON-schema validator and the checked-in BENCH schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.bench_schema import (
+    SCHEMA_PATH,
+    load_bench_schema,
+    validate_bench_document,
+    validate_bench_file,
+    validate_instance,
+)
+from repro.workloads.reporting import bench_envelope
+
+
+def envelope(**overrides) -> dict:
+    document = bench_envelope("unit", seed=1, speedup_factor=2.0, equivalence=True)
+    document.update(overrides)
+    return document
+
+
+def test_schema_file_is_checked_in_and_loads():
+    assert SCHEMA_PATH.exists()
+    schema = load_bench_schema()
+    assert set(schema["required"]) == {
+        "bench",
+        "recorded_unix",
+        "cpu_count",
+        "seed",
+        "speedup",
+        "equivalence",
+    }
+
+
+def test_uniform_envelope_validates():
+    assert validate_bench_document(envelope()) == []
+
+
+@pytest.mark.parametrize(
+    "missing", ["bench", "recorded_unix", "cpu_count", "seed", "speedup", "equivalence"]
+)
+def test_each_required_field_is_enforced(missing):
+    document = envelope()
+    del document[missing]
+    errors = validate_bench_document(document)
+    assert errors and missing in errors[0]
+
+
+def test_wrong_types_are_reported_with_paths():
+    errors = validate_bench_document(envelope(cpu_count="four"))
+    assert any("cpu_count" in error for error in errors)
+    # Booleans are not integers/numbers, despite bool subclassing int.
+    assert validate_bench_document(envelope(recorded_unix=True))
+    assert validate_bench_document(envelope(speedup=True))
+
+
+def test_minimum_bounds_are_enforced():
+    assert validate_bench_document(envelope(cpu_count=0))
+    assert validate_bench_document(envelope(speedup=-0.5))
+    assert validate_bench_document(envelope(recorded_unix=-1))
+
+
+def test_extra_top_level_fields_are_allowed():
+    # Recorders carry bench-specific payloads beside the envelope.
+    assert validate_bench_document(envelope(dataset="x", measurements={})) == []
+
+
+def test_scenarios_sections_are_validated_recursively():
+    document = envelope(scenarios={"s": {"scenario": "s"}})
+    errors = validate_bench_document(document)
+    assert any("scenarios" in error for error in errors)
+
+
+def test_validate_instance_supports_enum_and_items():
+    schema = {"type": "array", "items": {"type": "string", "enum": ["a", "b"]}}
+    assert validate_instance(["a", "b"], schema) == []
+    assert validate_instance(["c"], schema)
+    with pytest.raises(ScenarioError):
+        validate_instance(1, {"type": "no-such-type"})
+
+
+def test_validate_bench_file_reports_missing_and_malformed(tmp_path):
+    assert validate_bench_file(tmp_path / "absent.json")
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert validate_bench_file(broken)
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(envelope()))
+    assert validate_bench_file(good) == []
+
+
+def test_committed_baselines_validate():
+    # The repo's own BENCH_*.json files must satisfy the schema they ship with.
+    from pathlib import Path
+
+    baselines = sorted(Path(__file__).resolve().parents[2].glob("BENCH_*.json"))
+    assert baselines, "no committed BENCH_*.json baselines found"
+    for path in baselines:
+        assert validate_bench_file(path) == [], path.name

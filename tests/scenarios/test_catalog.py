@@ -1,0 +1,70 @@
+"""Catalog integrity: names, smoke subset, and acceptance-floor coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.catalog import catalog, get_scenario, scenario_names, smoke_catalog
+from repro.scenarios.generators import build_scenario_graph
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.traces import synthesize_trace
+
+
+def test_catalog_has_at_least_six_scenarios_with_unique_names():
+    specs = catalog()
+    assert len(specs) >= 6
+    names = [spec.name for spec in specs]
+    assert len(set(names)) == len(names)
+
+
+def test_smoke_subset_is_a_small_strict_subset():
+    smoke = smoke_catalog()
+    assert 3 <= len(smoke) <= 4
+    smoke_names = {spec.name for spec in smoke}
+    assert smoke_names < {spec.name for spec in catalog()}
+    assert all(spec.smoke for spec in smoke)
+
+
+def test_catalog_covers_models_and_trace_kinds():
+    specs = catalog()
+    assert {spec.probabilities.model for spec in specs} == {
+        "as_generated",
+        "weighted_cascade",
+        "trivalency",
+    }
+    assert {spec.trace.kind for spec in specs} == {
+        "bursty",
+        "hot_key_skew",
+        "adversarial_churn",
+    }
+    assert len({spec.graph.recipe for spec in specs}) >= 5
+
+
+def test_every_catalog_entry_requires_equivalence():
+    assert all(spec.gates.require_equivalence for spec in catalog())
+
+
+def test_scenario_names_and_lookup_agree():
+    names = scenario_names()
+    assert scenario_names(smoke_only=True) == tuple(
+        spec.name for spec in smoke_catalog()
+    )
+    for name in names:
+        assert get_scenario(name).name == name
+
+
+def test_unknown_scenario_lists_the_catalog():
+    with pytest.raises(ScenarioError, match="planted-wc-bursty"):
+        get_scenario("no-such-scenario")
+
+
+def test_catalog_specs_round_trip_and_synthesize():
+    # Parsing through from_dict is already the catalog's construction path;
+    # this pins the document round trip plus graph/trace synthesis for the
+    # smoke subset (the nightly entries run in the slow-marked bench).
+    for spec in smoke_catalog():
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        graph = build_scenario_graph(spec)
+        trace = synthesize_trace(graph, spec)
+        assert len(trace.ops) == spec.trace.operations

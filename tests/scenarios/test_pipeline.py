@@ -1,0 +1,133 @@
+"""Scenario pipeline: end-to-end replay, gates and report round-trips."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.pipeline import BACKENDS, ScenarioReport, run_scenario
+from repro.scenarios.report import (
+    format_scenario_table,
+    load_scenarios_document,
+    scenarios_document,
+    write_scenarios_document,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.facade import CommunityService
+
+
+def tiny_spec(**gate_overrides) -> ScenarioSpec:
+    gates = {"require_equivalence": True, "min_nonempty_results": 1}
+    gates.update(gate_overrides)
+    return ScenarioSpec.from_dict(
+        {
+            "scenario": {"name": "tiny", "seed": 5, "smoke": True},
+            "graph": {
+                "recipe": "planted",
+                "num_vertices": 90,
+                "keyword_domain": 8,
+                "params": {"communities": 3, "intra_probability": 0.3},
+            },
+            "probabilities": {"model": "weighted_cascade"},
+            "trace": {"kind": "bursty", "operations": 8, "update_share": 0.25},
+            "queries": {"theta": 0.05, "num_keywords": 3, "k": 3, "top_l": 2},
+            "gates": gates,
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_scenario(tiny_spec(), enforce_gates=True)
+
+
+def test_report_passes_gates_and_covers_both_backends(tiny_report):
+    assert tiny_report.passed
+    assert tiny_report.equivalence
+    assert tiny_report.first_mismatch is None
+    assert set(tiny_report.backends) == set(BACKENDS) == {"reference", "fast"}
+    for backend in BACKENDS:
+        run = tiny_report.backends[backend]
+        assert run["final_epoch"] >= 1  # the trace applied updates
+        assert run["total_seconds"] > 0
+    assert tiny_report.speedup > 0
+    assert tiny_report.cpu_count >= 1
+    assert tiny_report.seed == 5
+    assert tiny_report.smoke is True
+
+
+def test_backends_agree_on_final_graph_state(tiny_report):
+    reference = tiny_report.backends["reference"]
+    fast = tiny_report.backends["fast"]
+    assert reference["final_epoch"] == fast["final_epoch"]
+    assert reference["final_num_edges"] == fast["final_num_edges"]
+    assert reference["nonempty_results"] == fast["nonempty_results"]
+
+
+def test_report_json_round_trips(tiny_report):
+    document = tiny_report.to_json()
+    # Emitted reports must survive a JSON wire trip unchanged.
+    restored = ScenarioReport.from_json(json.loads(json.dumps(document)))
+    assert restored == tiny_report
+    assert restored.to_json() == document
+
+
+def test_report_from_json_rejects_unknown_keys(tiny_report):
+    document = tiny_report.to_json()
+    document["surprise"] = 1
+    with pytest.raises(ScenarioError, match="surprise"):
+        ScenarioReport.from_json(document)
+
+
+def test_unreachable_gate_fails_and_enforcement_raises():
+    spec = tiny_spec(min_nonempty_results=10_000)
+    report = run_scenario(spec)
+    assert not report.passed
+    assert report.gates["nonempty_ok"] is False
+    with pytest.raises(ScenarioError, match="gate"):
+        run_scenario(spec, enforce_gates=True)
+
+
+def test_run_scenario_reuses_a_caller_service(tiny_report):
+    service = CommunityService()
+    report = run_scenario(tiny_spec(), service=service)
+    assert report.equivalence
+    # Scenario sessions are dropped after the run, not leaked to the caller.
+    for backend in BACKENDS:
+        assert not service.has_session(f"scenario:tiny:{backend}")
+
+
+def test_scenarios_document_round_trips_through_disk(tiny_report, tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    document = write_scenarios_document([tiny_report], path)
+    assert document == json.loads(path.read_text())
+    restored = load_scenarios_document(path)
+    assert restored == [tiny_report]
+    assert document["equivalence"] is True
+    assert document["scenarios"]["tiny"]["seed"] == 5
+
+
+def test_scenarios_document_validates_against_schema(tiny_report):
+    from repro.scenarios.bench_schema import validate_bench_document
+
+    assert validate_bench_document(scenarios_document([tiny_report])) == []
+
+
+def test_format_scenario_table_mentions_every_scenario(tiny_report):
+    table = format_scenario_table([tiny_report])
+    assert "tiny" in table
+    assert "speedup" in table
+
+
+def test_determinism_same_spec_same_wire_answers(tiny_report):
+    again = run_scenario(tiny_spec())
+    mutable = ("recorded_unix", "speedup", "backends")
+    left = {k: v for k, v in dataclasses.asdict(tiny_report).items() if k not in mutable}
+    right = {k: v for k, v in dataclasses.asdict(again).items() if k not in mutable}
+    assert left == right
+    for backend in BACKENDS:
+        for key in ("final_epoch", "final_num_edges", "nonempty_results"):
+            assert tiny_report.backends[backend][key] == again.backends[backend][key]

@@ -1,0 +1,161 @@
+"""Scenario spec parsing: strictness, defaults, round-trips and file loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    load_scenario_file,
+    scenario_from_json,
+)
+
+
+def minimal_document(**overrides) -> dict:
+    document = {
+        "scenario": {"name": "t", "seed": 7},
+        "graph": {"recipe": "planted", "num_vertices": 60},
+        "probabilities": {"model": "as_generated"},
+        "trace": {"kind": "bursty", "operations": 6},
+        "queries": {"theta": 0.1},
+        "gates": {},
+    }
+    document.update(overrides)
+    return document
+
+
+def test_minimal_document_parses_with_defaults():
+    spec = ScenarioSpec.from_dict(minimal_document())
+    assert spec.name == "t"
+    assert spec.seed == 7
+    assert spec.smoke is False
+    assert spec.graph.recipe == "planted"
+    assert spec.trace.operations == 6
+    assert spec.queries.k == 3
+    assert spec.engine.max_radius == 2
+    assert spec.gates.require_equivalence is True
+
+
+@pytest.mark.parametrize(
+    "section, payload",
+    [
+        ("scenario", {"name": "t", "seed": 7, "bogus": 1}),
+        ("graph", {"recipe": "planted", "num_vertices": 60, "bogus": 1}),
+        ("probabilities", {"model": "as_generated", "bogus": 1}),
+        ("trace", {"kind": "bursty", "bogus": 1}),
+        ("queries", {"theta": 0.1, "bogus": 1}),
+        ("engine", {"max_radius": 2, "bogus": 1}),
+        ("gates", {"bogus": 1}),
+    ],
+)
+def test_unknown_keys_rejected_in_every_section(section, payload):
+    document = minimal_document(**{section: payload})
+    with pytest.raises(ScenarioError, match="bogus"):
+        ScenarioSpec.from_dict(document)
+
+
+def test_unknown_top_level_section_rejected():
+    with pytest.raises(ScenarioError):
+        ScenarioSpec.from_dict(minimal_document(extra={"x": 1}))
+
+
+def test_unknown_recipe_and_model_and_kind_rejected():
+    with pytest.raises(ScenarioError, match="recipe"):
+        ScenarioSpec.from_dict(
+            minimal_document(graph={"recipe": "no-such", "num_vertices": 60})
+        )
+    with pytest.raises(ScenarioError, match="model"):
+        ScenarioSpec.from_dict(minimal_document(probabilities={"model": "no-such"}))
+    with pytest.raises(ScenarioError, match="kind"):
+        ScenarioSpec.from_dict(minimal_document(trace={"kind": "no-such"}))
+
+
+def test_unknown_recipe_params_rejected_at_build():
+    from repro.scenarios.generators import build_scenario_graph
+
+    spec = ScenarioSpec.from_dict(
+        minimal_document(
+            graph={
+                "recipe": "planted",
+                "num_vertices": 60,
+                "params": {"not_a_knob": 3},
+            }
+        )
+    )
+    with pytest.raises(ScenarioError, match="not_a_knob"):
+        build_scenario_graph(spec)
+
+
+def test_radius_beyond_engine_max_radius_rejected():
+    document = minimal_document(
+        queries={"theta": 0.1, "radius": 3}, engine={"max_radius": 2}
+    )
+    with pytest.raises(ScenarioError, match="max_radius"):
+        ScenarioSpec.from_dict(document)
+
+
+def test_spec_round_trips_through_to_dict():
+    spec = ScenarioSpec.from_dict(minimal_document())
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_scenario_from_json_accepts_string_and_dict():
+    document = minimal_document()
+    assert scenario_from_json(json.dumps(document)) == ScenarioSpec.from_dict(document)
+    assert scenario_from_json(document) == ScenarioSpec.from_dict(document)
+
+
+def test_load_scenario_file_json(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(minimal_document()))
+    assert load_scenario_file(path) == ScenarioSpec.from_dict(minimal_document())
+
+
+def test_load_scenario_file_toml(tmp_path):
+    tomllib = pytest.importorskip("tomllib")
+    assert tomllib is not None
+    path = tmp_path / "scenario.toml"
+    path.write_text(
+        "\n".join(
+            [
+                "[scenario]",
+                'name = "t"',
+                "seed = 7",
+                "[graph]",
+                'recipe = "planted"',
+                "num_vertices = 60",
+                "[probabilities]",
+                'model = "as_generated"',
+                "[trace]",
+                'kind = "bursty"',
+                "operations = 6",
+                "[queries]",
+                "theta = 0.1",
+                "[gates]",
+            ]
+        )
+    )
+    assert load_scenario_file(path) == ScenarioSpec.from_dict(minimal_document())
+
+
+def test_load_scenario_file_rejects_unknown_suffix(tmp_path):
+    path = tmp_path / "scenario.yaml"
+    path.write_text("scenario: {}")
+    with pytest.raises(ScenarioError):
+        load_scenario_file(path)
+
+
+def test_bad_fraction_and_nonpositive_values_rejected():
+    with pytest.raises(ScenarioError):
+        ScenarioSpec.from_dict(
+            minimal_document(trace={"kind": "bursty", "update_share": 1.5})
+        )
+    with pytest.raises(ScenarioError):
+        ScenarioSpec.from_dict(
+            minimal_document(graph={"recipe": "planted", "num_vertices": 0})
+        )

@@ -17,6 +17,7 @@ from repro.exceptions import (
     MalformedRequestError,
     QueryParameterError,
     ReproError,
+    ScenarioError,
     SerializationError,
     ServiceRequestError,
     ServingError,
@@ -50,6 +51,7 @@ EXPECTED_CODES = {
     SerializationError: "SERIALIZATION_ERROR",
     ServingError: "SERVING_ERROR",
     DynamicUpdateError: "DYNAMIC_UPDATE_INVALID",
+    ScenarioError: "SCENARIO_INVALID",
     ServiceRequestError: "SERVICE_REQUEST_INVALID",
     MalformedRequestError: "MALFORMED_REQUEST",
     UnsupportedSchemaVersionError: "UNSUPPORTED_SCHEMA_VERSION",

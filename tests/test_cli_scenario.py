@@ -1,0 +1,125 @@
+"""CLI: the `repro scenario` subcommand (list / run / report / validate)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios.catalog import scenario_names
+from repro.workloads.reporting import bench_envelope
+
+
+def tiny_scenario_document(name="cli-tiny", **gate_overrides) -> dict:
+    gates = {"require_equivalence": True, "min_nonempty_results": 1}
+    gates.update(gate_overrides)
+    return {
+        "scenario": {"name": name, "seed": 5},
+        "graph": {
+            "recipe": "planted",
+            "num_vertices": 90,
+            "keyword_domain": 8,
+            "params": {"communities": 3, "intra_probability": 0.3},
+        },
+        "probabilities": {"model": "weighted_cascade"},
+        "trace": {"kind": "bursty", "operations": 6, "update_share": 0.2},
+        "queries": {"theta": 0.05, "num_keywords": 3, "top_l": 2},
+        "gates": gates,
+    }
+
+
+def test_scenario_list_prints_the_catalog(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_scenario_list_smoke_only(capsys):
+    assert main(["scenario", "list", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    smoke = set(scenario_names(smoke_only=True))
+    for name in scenario_names():
+        assert (name in out) == (name in smoke)
+
+
+def test_scenario_run_spec_file_writes_valid_document(tmp_path, capsys):
+    spec_path = tmp_path / "tiny.json"
+    spec_path.write_text(json.dumps(tiny_scenario_document()))
+    out_path = tmp_path / "BENCH_scenarios.json"
+    assert (
+        main(["scenario", "run", "--spec", str(spec_path), "--out", str(out_path)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out and "equivalence=ok" in out
+    document = json.loads(out_path.read_text())
+    assert document["bench"] == "scenarios"
+    assert document["equivalence"] is True
+    assert main(["scenario", "validate", str(out_path)]) == 0
+
+    # The written document replays through `scenario report`.
+    assert main(["scenario", "report", str(out_path)]) == 0
+    assert "cli-tiny" in capsys.readouterr().out
+
+
+def test_scenario_run_gate_failure_exits_nonzero(tmp_path, capsys):
+    spec_path = tmp_path / "failing.json"
+    spec_path.write_text(
+        json.dumps(tiny_scenario_document(min_nonempty_results=10_000))
+    )
+    assert main(["scenario", "run", "--spec", str(spec_path)]) == 2
+    assert "gates failed" in capsys.readouterr().err
+
+    out_path = tmp_path / "BENCH_failing.json"
+    assert (
+        main(
+            [
+                "scenario",
+                "run",
+                "--spec",
+                str(spec_path),
+                "--no-enforce-gates",
+                "--out",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # ... but `scenario report` still surfaces the failure.
+    assert main(["scenario", "report", str(out_path)]) == 2
+
+
+def test_scenario_run_rejects_unknown_name(capsys):
+    assert main(["scenario", "run", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenario_validate_rejects_bad_document(tmp_path, capsys):
+    good = tmp_path / "BENCH_good.json"
+    good.write_text(
+        json.dumps(bench_envelope("unit", seed=1, speedup_factor=1.0, equivalence=True))
+    )
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"bench": "unit"}))
+    assert main(["scenario", "validate", str(good)]) == 0
+    assert main(["scenario", "validate", str(good), str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "BENCH_bad" in captured.err
+
+
+def test_scenario_validate_with_no_documents_found(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["scenario", "validate"]) == 2
+    assert "no BENCH_*.json" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_scenario_run_named_catalog_entry(tmp_path):
+    out_path = tmp_path / "BENCH_one.json"
+    assert (
+        main(["scenario", "run", "bipartite-wc-churn", "--out", str(out_path)]) == 0
+    )
+    assert json.loads(out_path.read_text())["gates_passed"] is True
