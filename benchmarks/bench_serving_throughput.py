@@ -11,6 +11,11 @@ a mixed TopL/DTopL batch on the synthetic small-world dataset:
   baselines stay comparable).
 * **cache sweep** (workers=1) — a cold round followed by a warm round over
   the same batch; the warm round is served from the result cache.
+* **sharded sweep** — the same batch through
+  :class:`repro.service.sharded.ShardedCommunityService` (2 worker
+  processes), with answers asserted bit-identical to the unsharded facade;
+  like the workers sweep, the speedup gate only runs on multi-core boxes
+  while the equivalence gate always runs (inline mode).
 
 Run as a pytest-benchmark module (``pytest benchmarks/bench_serving_throughput.py``)
 or standalone to record a JSON baseline::
@@ -124,6 +129,60 @@ def _measure(engine, queries, workers: int, cache: bool) -> dict:
     }
 
 
+def _batch_wire_answers(service, session: str, queries) -> list:
+    """Answer-bearing wire form of one batch (work counters stripped)."""
+    from repro.service.schema import BatchRequest
+
+    response = service.batch(BatchRequest(session=session, queries=tuple(queries)))
+    documents = json.loads(json.dumps(list(response.results)))
+    for document in documents:
+        document.pop("statistics", None)
+        for key in ("elapsed_seconds", "elapsed_ms"):
+            document.pop(key, None)
+    return documents
+
+
+def measure_sharded(graph, queries, num_shards: int = 2, mode: str = "process") -> dict:
+    """The batch through the sharded facade, equivalence-gated.
+
+    Both facades serve cache-off so every query fans out; the sharded
+    answers must match the unsharded facade's bit-for-bit once the
+    distributed work counters are stripped.
+    """
+    from repro.serve.batch import ServingConfig
+    from repro.service.facade import CommunityService
+    from repro.service.sharded import ShardedCommunityService
+
+    cache_off = ServingConfig(result_cache_capacity=0, propagation_cache_capacity=0)
+    plain = CommunityService(serving_config=cache_off)
+    plain.adopt(build_backend_engine(graph, "reference"), session="bench")
+    started = time.perf_counter()
+    expected = _batch_wire_answers(plain, "bench", queries)
+    unsharded_seconds = time.perf_counter() - started
+
+    with ShardedCommunityService(
+        num_shards=num_shards, mode=mode, serving_config=cache_off
+    ) as sharded:
+        sharded.adopt(build_backend_engine(graph, "reference"), session="bench")
+        started = time.perf_counter()
+        answers = _batch_wire_answers(sharded, "bench", queries)
+        sharded_seconds = time.perf_counter() - started
+
+    assert answers == expected, "sharded facade served different answers"
+    return {
+        "num_shards": num_shards,
+        "mode": mode,
+        "cpu_count": os.cpu_count(),
+        "batch_size": len(queries),
+        "equivalence": True,
+        "unsharded_seconds": round(unsharded_seconds, 4),
+        "sharded_seconds": round(sharded_seconds, 4),
+        "speedup": round(unsharded_seconds / sharded_seconds, 3)
+        if sharded_seconds > 0
+        else 0.0,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # pytest-benchmark entry points
 # --------------------------------------------------------------------------- #
@@ -212,6 +271,41 @@ def test_parallel_speedup_on_multicore(serving_fixture):
     )
 
 
+def test_sharded_equivalence_smoke(serving_fixture):
+    """Sharded answers must be bit-identical to unsharded (always runs).
+
+    Inline mode keeps this on the merge code path without worker processes,
+    so the gate holds on 1-core boxes and in the PR bench smoke alike.
+    """
+    graph, _, queries = serving_fixture
+    measurement = measure_sharded(
+        graph, queries[: min(len(queries), 8)], num_shards=3, mode="inline"
+    )
+    assert measurement["equivalence"]
+
+
+def test_sharded_speedup_on_multicore(serving_fixture):
+    """2 shard processes must beat the unsharded facade — where they can.
+
+    The same skip discipline as ``test_parallel_speedup_on_multicore``: on a
+    1-core box shard processes only add serialization overhead (recorded
+    honestly in ``BENCH_serving.json``), and a tiny batch cannot amortise
+    worker start-up; neither is a regression.
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        pytest.skip(f"sharded speedup needs >= 2 cores (cpu_count={cpu_count})")
+    graph, _, queries = serving_fixture
+    if len(queries) < 16:
+        pytest.skip(f"batch of {len(queries)} too small to amortise worker start-up")
+    measurement = measure_sharded(graph, queries, num_shards=2, mode="process")
+    assert measurement["equivalence"]
+    assert measurement["speedup"] > 1.0, (
+        f"2 shards gave {measurement['speedup']:.2f}x over unsharded "
+        f"on {cpu_count} cores"
+    )
+
+
 def test_backend_serving_identical_answers(serving_fixture):
     """Both graph-core backends must serve identical batches (CI smoke)."""
     graph, _, queries = serving_fixture
@@ -271,6 +365,12 @@ def main(argv=None) -> int:
     workers_speedup = round(parallel / baseline, 3) if baseline > 0 else 0.0
     print(f"workers=4 speedup over workers=1: {workers_speedup}x")
 
+    sharded = measure_sharded(graph, queries, num_shards=2, mode="process")
+    print(
+        f"sharded (2 shard processes): {sharded['speedup']}x over unsharded "
+        f"on {sharded['cpu_count']} core(s), answers identical"
+    )
+
     report = {
         # equivalence=True: measure_backends asserted identical answers above.
         **bench_envelope(
@@ -286,6 +386,8 @@ def main(argv=None) -> int:
         "measurements": measurements,
         "backends": backends,
         "speedup_workers_4_vs_1": workers_speedup,
+        "sharded": sharded,
+        "speedup_sharded_2_vs_unsharded": sharded["speedup"],
     }
 
     if args.out:

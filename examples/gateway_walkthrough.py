@@ -10,6 +10,12 @@ Each step's request and response documents are captured as JSON transcripts
 The script asserts the lifecycle invariants along the way: the update bumps
 the engine epoch, and the post-update answer differs from a stale cache
 (the epoch-tagged caches make serving a pre-update result impossible).
+
+With ``--shards N`` the same walkthrough runs against the sharded serving
+tier instead — a :class:`repro.service.ShardedCommunityService` (N worker
+processes per session, ``--replicas`` read replicas each) behind the async
+front door :class:`repro.service.AsyncServiceGateway`.  Every request,
+response and assertion is unchanged: sharding is invisible on the wire.
 """
 
 from __future__ import annotations
@@ -55,6 +61,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="directory for the JSON transcripts"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run against the sharded tier with this many worker processes "
+        "per session (0 = the plain threaded gateway)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1, help="read replicas per shard"
+    )
     args = parser.parse_args(argv)
 
     transcripts: list[tuple[str, dict, dict]] = []
@@ -67,7 +83,20 @@ def main(argv=None) -> int:
     graph = uni(num_vertices=args.vertices, rng=7)
     query = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3)
 
-    with ServiceGateway(CommunityService(), port=0) as gateway:
+    if args.shards > 0:
+        from repro.service.agateway import AsyncServiceGateway
+        from repro.service.sharded import ShardedCommunityService
+
+        service = ShardedCommunityService(
+            num_shards=args.shards, replicas=args.replicas, mode="process"
+        )
+        gateway_factory = lambda: AsyncServiceGateway(service, port=0)  # noqa: E731
+        print(f"sharded tier: {args.shards} shards x {args.replicas} replicas")
+    else:
+        service = CommunityService()
+        gateway_factory = lambda: ServiceGateway(service, port=0)  # noqa: E731
+
+    with gateway_factory() as gateway:
         print(f"gateway listening on {gateway.url}")
 
         build_doc = BuildRequest(
@@ -114,6 +143,17 @@ def main(argv=None) -> int:
         transcripts.append(("health", {"query": query_to_wire(query)}, health))
         (session,) = [s for s in health["sessions"] if s["name"] == "walkthrough"]
         assert session["epoch"] == 1
+        if args.shards > 0:
+            shards = session["shards"]
+            assert shards["num_shards"] == args.shards, shards
+            assert all(
+                replica["alive"] and replica["epoch"] == 1
+                for shard in shards["shards"]
+                for replica in shard["replicas"]
+            ), shards
+
+    if args.shards > 0:
+        service.close()
 
     if args.out:
         out_dir = Path(args.out)

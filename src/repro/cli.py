@@ -197,6 +197,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="default",
         help="session name the pre-loaded graph is hosted under",
     )
+    gateway.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition each session over this many shard worker processes "
+        "behind the async front door (0 = unsharded threaded gateway)",
+    )
+    gateway.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="read replicas per shard (round-robin routing, automatic "
+        "failover; only meaningful with --shards)",
+    )
+    gateway.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="async front door backpressure bound: concurrent requests "
+        "beyond this get 429 + Retry-After (only with --shards)",
+    )
 
     scenario = subparsers.add_parser(
         "scenario",
@@ -238,6 +259,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-enforce-gates",
         action="store_true",
         help="report gate failures in the table instead of exiting non-zero",
+    )
+    scenario_run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="additionally replay each scenario's trace on a sharded facade "
+        "with this many shards and gate answer equivalence against the "
+        "unsharded replay (0 = skip the sharded pass)",
+    )
+    scenario_run.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="read replicas per shard for the --shards replay",
     )
 
     scenario_report = actions.add_parser(
@@ -716,9 +751,19 @@ def _command_update(args: argparse.Namespace) -> int:
 
 
 def _command_gateway(args: argparse.Namespace) -> int:
+    from repro.service.agateway import AsyncServiceGateway
     from repro.service.gateway import ServiceGateway
+    from repro.service.sharded import ShardedCommunityService
 
-    service = CommunityService()
+    if args.shards > 0:
+        service = ShardedCommunityService(
+            num_shards=args.shards,
+            replicas=args.replicas,
+            mode="process",
+            supervise_interval=2.0,
+        )
+    else:
+        service = CommunityService()
     if args.graph:
         response = service.build(
             BuildRequest(
@@ -734,6 +779,23 @@ def _command_gateway(args: argparse.Namespace) -> int:
             f"|E| = {graph_info['num_edges']} "
             f"(backend {response.engine['backend']})"
         )
+    if args.shards > 0:
+        gateway = AsyncServiceGateway(
+            service, host=args.host, port=args.port, max_pending=args.max_pending
+        )
+        gateway.start()
+        print(
+            f"serving the v1 API on {gateway.url} "
+            f"({args.shards} shards x {args.replicas} replicas, Ctrl-C to stop)"
+        )
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            print("gateway stopped")
+        finally:
+            gateway.shutdown()
+            service.close()
+        return 0
     gateway = ServiceGateway(service, host=args.host, port=args.port)
     print(f"serving the v1 API on {gateway.url} (Ctrl-C to stop)")
     try:
@@ -788,6 +850,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
             specs.extend(smoke_catalog())
         service = CommunityService()
         reports = []
+        sharded_failures = []
         for spec in specs:
             started = time.perf_counter()
             report = run_scenario(spec, service=service)
@@ -797,11 +860,29 @@ def _command_scenario(args: argparse.Namespace) -> int:
                 f"speedup {report.speedup:.2f}x)"
             )
             reports.append(report)
+            if args.shards > 0:
+                from repro.scenarios.sharded import run_scenario_sharded
+
+                sharded = run_scenario_sharded(
+                    spec, num_shards=args.shards, replicas=args.replicas
+                )
+                print(
+                    f"  sharded replay ({args.shards} shards): "
+                    f"equivalence={'ok' if sharded.equivalence else 'FAILED'} "
+                    f"over {sharded.operations} operations"
+                )
+                if not sharded.passed:
+                    sharded_failures.append(spec.name)
         print(format_scenario_table(reports))
         if args.out:
             write_scenarios_document(reports, args.out)
             print(f"scenario document written to {args.out}")
         failed = [report.scenario for report in reports if not report.passed]
+        failed.extend(
+            f"{name} (sharded replay)"
+            for name in sharded_failures
+            if name not in failed
+        )
         if failed and not args.no_enforce_gates:
             print(f"error: gates failed for: {', '.join(failed)}", file=sys.stderr)
             return 2

@@ -1,0 +1,156 @@
+"""Sharded replay mode: a scenario's trace, unsharded vs sharded, gated.
+
+Replays one scenario trace twice through the wire layer — once on a plain
+:class:`~repro.service.facade.CommunityService`, once on a
+:class:`~repro.service.sharded.ShardedCommunityService` — and demands the
+response streams be **bit-identical** after stripping work-accounting
+fields (``statistics``/``cache_statistics``: a fan-out legitimately visits
+and prunes differently than one process; see
+:func:`repro.service.sharded.merge.aggregate_statistics`) alongside the
+timing fields every equivalence comparison already strips.
+
+This is the scenario-harness face of the shard-merge exactness guarantee:
+every answer a client can read off the wire — communities, centres, scores,
+diversity metrics, epochs, update reports — survives sharding unchanged,
+across the mixed read/update traffic the traces synthesize.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.generators import build_scenario_graph
+from repro.scenarios.pipeline import _comparable, _replay_backend
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.traces import synthesize_trace
+from repro.graph.io import graph_to_dict
+from repro.service.facade import CommunityService
+from repro.service.sharded import ShardedCommunityService
+
+#: Response fields that report *work done*, not *answers given*; a sharded
+#: execution distributes the work, so these may differ while every
+#: answer-bearing field must not.
+_WORK_FIELDS = ("statistics", "cache_statistics")
+
+
+def _strip_work_fields(node) -> None:
+    if isinstance(node, dict):
+        for key in _WORK_FIELDS:
+            node.pop(key, None)
+        for value in node.values():
+            _strip_work_fields(value)
+    elif isinstance(node, list):
+        for value in node:
+            _strip_work_fields(value)
+
+
+def _answers_only(kind: str, document: dict) -> dict:
+    document = _comparable(kind, dict(document))
+    _strip_work_fields(document)
+    return document
+
+
+@dataclass(frozen=True)
+class ShardedReplayReport:
+    """Outcome of one unsharded-vs-sharded trace replay."""
+
+    scenario: str
+    backend: str
+    num_shards: int
+    replicas: int
+    mode: str
+    operations: int
+    equivalence: bool
+    first_mismatch: Optional[int]
+    unsharded_seconds: float
+    sharded_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return self.equivalence
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "num_shards": self.num_shards,
+            "replicas": self.replicas,
+            "mode": self.mode,
+            "operations": self.operations,
+            "equivalence": self.equivalence,
+            "first_mismatch": self.first_mismatch,
+            "unsharded_seconds": round(self.unsharded_seconds, 6),
+            "sharded_seconds": round(self.sharded_seconds, 6),
+        }
+
+
+def run_scenario_sharded(
+    spec: ScenarioSpec,
+    num_shards: int = 2,
+    replicas: int = 1,
+    mode: str = "inline",
+    backend: str = "reference",
+    enforce: bool = False,
+) -> ShardedReplayReport:
+    """Replay ``spec``'s trace unsharded and sharded; compare every response.
+
+    Parameters
+    ----------
+    spec:
+        The scenario whose graph and trace to replay.
+    num_shards, replicas, mode:
+        Pool shape of the sharded side (``"inline"`` keeps the replay
+        single-process — the default for CI and single-core boxes;
+        ``"process"`` exercises the real worker transport).
+    backend:
+        Engine backend both sides run on.
+    enforce:
+        Raise :class:`~repro.exceptions.ScenarioError` on any mismatch
+        instead of only recording it.
+    """
+    graph = build_scenario_graph(spec)
+    trace = synthesize_trace(graph, spec)
+    graph_doc = graph_to_dict(graph)
+
+    plain_service = CommunityService()
+    started = time.perf_counter()
+    plain = _replay_backend(plain_service, backend, spec, graph_doc, trace)
+    unsharded_seconds = time.perf_counter() - started
+
+    with ShardedCommunityService(
+        num_shards=num_shards, replicas=replicas, mode=mode
+    ) as sharded_service:
+        started = time.perf_counter()
+        sharded = _replay_backend(sharded_service, backend, spec, graph_doc, trace)
+        sharded_seconds = time.perf_counter() - started
+
+    first_mismatch: Optional[int] = None
+    for index, ((kind_a, ours), (kind_b, theirs)) in enumerate(
+        zip(plain.wire_documents, sharded.wire_documents)
+    ):
+        if _answers_only(kind_a, ours) != _answers_only(kind_b, theirs):
+            first_mismatch = index
+            break
+
+    report = ShardedReplayReport(
+        scenario=spec.name,
+        backend=backend,
+        num_shards=num_shards,
+        replicas=replicas,
+        mode=mode,
+        operations=len(plain.wire_documents),
+        equivalence=first_mismatch is None,
+        first_mismatch=first_mismatch,
+        unsharded_seconds=unsharded_seconds,
+        sharded_seconds=sharded_seconds,
+    )
+    if enforce and not report.passed:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: sharded replay diverged from the "
+            f"unsharded replay at operation {report.first_mismatch} "
+            f"(shards={num_shards}, replicas={replicas}, mode={mode})"
+        )
+    return report

@@ -15,6 +15,12 @@ API:
 * :mod:`repro.service.gateway` — a stdlib HTTP gateway exposing the
   facade as ``POST /v1/{build,topl,dtopl,update,batch}`` plus
   ``GET /v1/{sessions,health}``, with NDJSON streaming for batches.
+* :mod:`repro.service.sharded` — :class:`ShardedCommunityService`, the
+  same facade surface answered by a pool of replicated shard workers
+  with an exact (bit-identical) merge.
+* :mod:`repro.service.agateway` — :class:`AsyncServiceGateway`, an
+  asyncio front door with keep-alive, request coalescing and bounded-queue
+  backpressure (``429`` + ``Retry-After``).
 
 See ``docs/service.md`` for the endpoint reference and examples.
 """
@@ -27,8 +33,10 @@ from repro.service.errors import (
     http_status_for,
     service_error_from_exception,
 )
+from repro.service.agateway import AsyncServiceGateway, run_async_gateway
 from repro.service.facade import CommunityService, SessionInfo
 from repro.service.gateway import ServiceGateway, run_gateway
+from repro.service.sharded import ShardedCommunityService
 from repro.service.schema import (
     SCHEMA_VERSION,
     BatchRequest,
@@ -59,8 +67,11 @@ __all__ = [
     "service_error_from_exception",
     "CommunityService",
     "SessionInfo",
+    "ShardedCommunityService",
     "ServiceGateway",
+    "AsyncServiceGateway",
     "run_gateway",
+    "run_async_gateway",
     "BuildRequest",
     "BuildResponse",
     "ToplRequest",

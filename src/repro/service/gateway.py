@@ -177,7 +177,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     "position": position,
                     "result": result_to_wire(result),
                 }
-                self._write_ndjson_line(line)
+                if not self._write_ndjson_line(line):
+                    # The client went away mid-stream; there is nobody left
+                    # to answer for, and nobody to report an error to.
+                    return
                 answered += 1
             summary = {
                 "kind": "summary",
@@ -195,15 +198,22 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._write_ndjson_line(summary)
         except Exception as error:
             # Mid-stream failure: the HTTP status is already 200, so the
-            # error travels as a terminal NDJSON line.
+            # error travels as a terminal NDJSON line.  Writing it is itself
+            # best-effort — the failure may *be* the client disconnecting.
             failure = ErrorResponse(error=service_error_from_exception(error))
             line = failure.to_json()
             line["kind"] = "error"
             self._write_ndjson_line(line)
 
-    def _write_ndjson_line(self, document: dict) -> None:
-        self.wfile.write(json.dumps(document).encode("utf-8") + b"\n")
-        self.wfile.flush()
+    def _write_ndjson_line(self, document: dict) -> bool:
+        """Write one NDJSON line; ``False`` (quietly) when the client is gone."""
+        try:
+            self.wfile.write(json.dumps(document).encode("utf-8") + b"\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -212,10 +222,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
+            # The body was never consumed, so the next bytes on a kept-alive
+            # connection would be misparsed as a request line: force a close.
+            self.close_connection = True
             raise MalformedRequestError("invalid Content-Length header") from None
         if length <= 0:
+            self.close_connection = True
             raise MalformedRequestError("request body is required")
         if length > MAX_BODY_BYTES:
+            self.close_connection = True
             raise MalformedRequestError(
                 f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
             )
@@ -227,11 +242,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, document: dict) -> None:
         body = json.dumps(document).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                # Set when an unconsumed body poisoned the keep-alive byte
+                # stream: advertise the close instead of silently dropping.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up before (or while) we answered; there is
+            # nothing useful to do with the response — drop it quietly
+            # instead of crashing the handler thread with a traceback.
+            self.close_connection = True
 
     def _send_error_document(self, status: int, error: ServiceError) -> None:
         self._send_json(status, ErrorResponse(error=error).to_json())

@@ -1,0 +1,36 @@
+"""Sharded, replicated serving tier over the `GraphCore` seam.
+
+One graph is partitioned across several worker processes — each shard an
+engine of its own behind a :class:`~repro.service.sharded.pool.ShardWorkerPool`
+replica set — and TopL/DTopL queries fan out over the shards with an **exact
+merge**: per-shard candidate communities are re-ranked in the canonical index
+traversal order under the same pruning rules, so the sharded answer is
+bit-identical to the single-process one (gated by the equivalence suite and
+the serving bench recorder).
+
+Entry points:
+
+* :class:`ShardedCommunityService` — drop-in
+  :class:`~repro.service.facade.CommunityService` whose sessions execute on a
+  shard pool (``mode="process"``) or in-process (``mode="inline"``, the exact
+  same merge path without worker processes — what the equivalence tests use).
+* :class:`ShardPlan` — the deterministic centre-to-shard assignment.
+* :class:`ShardWorkerPool` — replicated worker processes with round-robin
+  read routing, update broadcast, and health/restart supervision.
+
+See ``docs/service.md`` ("Sharded deployment") for topology and failure
+semantics.
+"""
+
+from repro.service.sharded.facade import ShardedCommunityService
+from repro.service.sharded.merge import canonical_visit_order, merge_shard_candidates
+from repro.service.sharded.plan import ShardPlan
+from repro.service.sharded.pool import ShardWorkerPool
+
+__all__ = [
+    "ShardPlan",
+    "ShardWorkerPool",
+    "ShardedCommunityService",
+    "canonical_visit_order",
+    "merge_shard_candidates",
+]

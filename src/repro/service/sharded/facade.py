@@ -1,0 +1,283 @@
+"""`ShardedCommunityService`: the facade surface, executed on a shard pool.
+
+A drop-in :class:`~repro.service.facade.CommunityService`: same endpoints,
+same wire schema, same session registry — but each session's queries fan out
+over a :class:`~repro.service.sharded.pool.ShardWorkerPool` and come back
+through the exact merge (:mod:`repro.service.sharded.merge`).  The router
+keeps the authoritative engine per session (built by the inherited
+``build``/``adopt``), which provides the canonical visit order, answers
+update requests, and is the restart source for dead replicas.
+
+Answer-relevant response fields are bit-identical to the unsharded facade;
+``statistics`` counters report distributed work and legitimately differ
+(see :func:`~repro.service.sharded.merge.aggregate_statistics`).
+
+Request-level pruning overrides bypass the pool and run on the router engine
+directly — the same "correctness first, fan-out where it is sound" rule the
+unsharded facade applies to its caches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.dynamic.updates import UpdateBatch
+from repro.query.dtopl import _diversity_of, greedy_select_diversified
+from repro.query.params import DTopLQuery
+from repro.query.results import DTopLResult, TopLResult
+from repro.serve.batch import BatchStatistics, ServingConfig
+from repro.serve.cache import query_cache_key
+from repro.service.facade import CommunityService, _Session
+from repro.service.schema import BatchRequest, BatchResponse, result_to_wire
+from repro.service.sharded.merge import (
+    aggregate_statistics,
+    canonical_visit_order,
+    merge_shard_candidates,
+)
+from repro.service.sharded.pool import ShardWorkerPool
+
+
+class ShardedCommunityService(CommunityService):
+    """Sessions in, typed responses out — answered by a replicated shard pool.
+
+    Parameters
+    ----------
+    num_shards, replicas:
+        Pool shape applied to every session this service hosts.
+    mode:
+        ``"process"`` (worker processes) or ``"inline"`` (same merge path,
+        no processes — equivalence tests and single-core boxes).
+    start_method:
+        ``multiprocessing`` start method for worker processes.
+    supervise_interval:
+        Seconds between automatic dead-replica restarts; ``None`` leaves
+        restarts to explicit :meth:`restart_dead` calls.
+    serving_config:
+        Per-session serving defaults (the result cache still fronts the
+        pool: merged answers are cached under the same epoch-tagged keys).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        replicas: int = 1,
+        mode: str = "process",
+        start_method: Optional[str] = None,
+        supervise_interval: Optional[float] = None,
+        serving_config: Optional[ServingConfig] = None,
+    ) -> None:
+        super().__init__(serving_config=serving_config)
+        self.num_shards = num_shards
+        self.replicas = replicas
+        self.mode = mode
+        self._start_method = start_method
+        self._supervise_interval = supervise_interval
+        self._pools: dict[str, ShardWorkerPool] = {}
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle (pool attach/detach)
+    # ------------------------------------------------------------------ #
+    def adopt(self, engine, session: str = "default", replace: bool = False,
+              serving_config: Optional[ServingConfig] = None) -> str:
+        name = super().adopt(
+            engine, session=session, replace=replace, serving_config=serving_config
+        )
+        with self._registry_lock:
+            stale = self._pools.pop(name, None)
+        if stale is not None:
+            stale.stop()
+        pool = ShardWorkerPool(
+            engine,
+            self.num_shards,
+            replicas=self.replicas,
+            mode=self.mode,
+            start_method=self._start_method,
+            supervise_interval=self._supervise_interval,
+        )
+        with self._registry_lock:
+            self._pools[name] = pool
+        return name
+
+    def drop_session(self, session: str) -> None:
+        super().drop_session(session)
+        with self._registry_lock:
+            pool = self._pools.pop(session, None)
+        if pool is not None:
+            pool.stop()
+
+    def pool(self, session: str = "default") -> ShardWorkerPool:
+        """The shard pool behind ``session`` (diagnostics, failure injection)."""
+        self._session(session)  # raises UnknownSessionError for bad names
+        with self._registry_lock:
+            return self._pools[session]
+
+    def close(self) -> None:
+        """Stop every session's pool (the gateway calls this on shutdown)."""
+        with self._registry_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.stop()
+
+    def __enter__(self) -> "ShardedCommunityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the sharded answer path
+    # ------------------------------------------------------------------ #
+    def _answer(self, session: _Session, query, pruning: Optional[dict]):
+        if pruning is not None:
+            # Override path: router engine, exactly like the base facade.
+            return super()._answer(session, query, pruning)
+        result, _ = self._sharded_answer(session, query)
+        return result
+
+    def answer_one(self, session: str, query):
+        state = self._session(session)
+        with state.lock:
+            result, _ = self._sharded_answer(state, query)
+            state.requests_served += 1
+            return result
+
+    def _sharded_answer(self, session: _Session, query):
+        """Answer one query on the pool; returns ``(result, was_cached)``.
+
+        The session's epoch-tagged result cache fronts the fan-out: merged
+        answers are exact, so caching them is as sound as on the unsharded
+        path, and an update broadcast bumps the epoch out from under every
+        stale entry.
+        """
+        serving = session.serving
+        epoch = session.engine.epoch
+        key = query_cache_key(query, serving.pruning, epoch)
+        if serving.result_cache is not None:
+            cached = serving.result_cache.get(key)
+            if cached is not None:
+                return cached, True
+        started = time.perf_counter()
+        if isinstance(query, DTopLQuery):
+            result = self._execute_dtopl(session, query)
+        else:
+            result = self._execute_topl(session, query)
+        result.statistics.elapsed_seconds = time.perf_counter() - started
+        if serving.result_cache is not None:
+            serving.result_cache.put(key, result)
+        return result, False
+
+    def _collect_and_merge(self, session: _Session, collect_query):
+        pool = self._pools[session.name]
+        positions = canonical_visit_order(
+            session.engine.index, collect_query, session.serving.pruning
+        )
+        collected = pool.collect(collect_query)
+        merged = merge_shard_candidates(
+            (entry["communities"] for entry in collected),
+            positions,
+            collect_query.top_l,
+        )
+        statistics = aggregate_statistics(entry["statistics"] for entry in collected)
+        return merged, statistics
+
+    def _execute_topl(self, session: _Session, query) -> TopLResult:
+        merged, statistics = self._collect_and_merge(session, query)
+        return TopLResult(communities=merged, statistics=statistics)
+
+    def _execute_dtopl(self, session: _Session, query: DTopLQuery) -> DTopLResult:
+        # Exactly the single-process decomposition: collect the top n*L
+        # candidates (here: merged exactly across shards), then run the
+        # stock lazy greedy centrally.
+        candidates, statistics = self._collect_and_merge(
+            session, query.candidate_query()
+        )
+        selection, increments = greedy_select_diversified(
+            list(candidates), query.top_l
+        )
+        return DTopLResult(
+            communities=tuple(selection),
+            diversity_score=_diversity_of(selection),
+            statistics=statistics,
+            increment_evaluations=increments,
+            candidates_considered=len(candidates),
+        )
+
+    # ------------------------------------------------------------------ #
+    # endpoints that need pool awareness
+    # ------------------------------------------------------------------ #
+    def update(self, request):
+        """Apply the edit script on the router, then broadcast to the pool.
+
+        Both happen under the session lock, so no query can fan out between
+        the router's epoch bump and the replicas': workers always serve the
+        epoch the canonical order was computed on.
+        """
+        session = self._session(request.session)
+        with session.lock:
+            response = super().update(request)
+            self._pools[session.name].broadcast_update(
+                UpdateBatch(request.edits).to_json(),
+                request.damage_threshold,
+                request.rebuild,
+            )
+        return response
+
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        """A mixed batch, each query fanned over the shards.
+
+        ``request.workers`` is ignored on this path — parallelism comes from
+        the pool shape, not a per-request pool (the response's ``statistics``
+        say ``mode: "sharded"`` and carry the shard count as ``workers``).
+        """
+        if request.pruning is not None:
+            return super().batch(request)
+        session = self._session(request.session)
+        started = time.perf_counter()
+        with session.lock:
+            statistics = BatchStatistics(
+                total_queries=len(request.queries),
+                workers=self.num_shards,
+                mode="sharded",
+            )
+            results = []
+            for query in request.queries:
+                result, was_cached = self._sharded_answer(session, query)
+                results.append(result)
+                if was_cached:
+                    statistics.result_cache_hits += 1
+                else:
+                    statistics.executed += 1
+                    statistics.result_cache_misses += 1
+                    self._absorb(statistics, result)
+            statistics.elapsed_seconds = time.perf_counter() - started
+            session.requests_served += 1
+            return BatchResponse(
+                session=session.name,
+                epoch=session.engine.epoch,
+                elapsed_seconds=statistics.elapsed_seconds,
+                results=tuple(result_to_wire(result) for result in results),
+                statistics=statistics.as_dict(),
+                cache_statistics=session.serving.cache_statistics(),
+            )
+
+    @staticmethod
+    def _absorb(statistics: BatchStatistics, result) -> None:
+        statistics.propagation_cache_hits += result.statistics.propagation_cache_hits
+        statistics.propagation_cache_misses += (
+            result.statistics.propagation_cache_misses
+        )
+
+    def health(self):
+        """Base health document, each session annotated with its pool topology."""
+        response = super().health()
+        with self._registry_lock:
+            pools = dict(self._pools)
+        sessions = tuple(
+            {**entry, "shards": pools[entry["name"]].health()}
+            if entry["name"] in pools
+            else entry
+            for entry in response.sessions
+        )
+        return type(response)(status=response.status, sessions=sessions)

@@ -1,0 +1,267 @@
+"""Async front door: keep-alive, coalescing, backpressure, streaming.
+
+The :class:`AsyncServiceGateway` must serve the exact ``/v1`` surface of
+the threaded gateway while adding the front-door behaviours the sharded
+tier relies on: connection reuse, single execution of identical in-flight
+reads, and a bounded pending queue that answers ``429`` with
+``Retry-After`` instead of queueing without limit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.query.params import make_topl_query
+from repro.service.agateway import AsyncServiceGateway
+from repro.service.facade import CommunityService
+from repro.service.schema import BatchRequest, ToplRequest
+
+TOPL = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3)
+
+
+@pytest.fixture(scope="module")
+def gateway(built_engine):
+    service = CommunityService()
+    service.adopt(built_engine, session="hosted")
+    with AsyncServiceGateway(service, port=0) as running:
+        yield running
+
+
+def post(conn, path, document):
+    conn.request(
+        "POST",
+        path,
+        body=json.dumps(document),
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+class TestRoutesAndKeepAlive:
+    def test_health_and_sessions(self, gateway):
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            conn.request("GET", "/v1/health")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200
+            assert body["status"] == "ok"
+            conn.request("GET", "/v1/sessions")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert "hosted" in [
+                s["name"] for s in json.loads(response.read())["sessions"]
+            ]
+        finally:
+            conn.close()
+
+    def test_keep_alive_reuses_one_connection(self, gateway):
+        """Two sequential requests travel over a single TCP connection."""
+        before = gateway.statistics()["connections"]
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            document = ToplRequest(query=TOPL, session="hosted").to_json()
+            status_1, body_1 = post(conn, "/v1/topl", document)
+            status_2, body_2 = post(conn, "/v1/topl", document)
+        finally:
+            conn.close()
+        assert status_1 == status_2 == 200
+        assert body_1["communities"] == body_2["communities"]
+        # http.client raises on an unexpectedly closed keep-alive socket, so
+        # reaching here proves reuse; the counter pins it down exactly.
+        assert gateway.statistics()["connections"] == before + 1
+
+    def test_answers_match_the_facade(self, gateway):
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            status, body = post(
+                conn, "/v1/topl", ToplRequest(query=TOPL, session="hosted").to_json()
+            )
+        finally:
+            conn.close()
+        assert status == 200
+        direct = gateway.service.engine("hosted").topl(TOPL)
+        from repro.service.schema import community_to_wire
+
+        assert body["communities"] == json.loads(
+            json.dumps([community_to_wire(c) for c in direct.communities])
+        )
+
+    def test_unknown_routes_and_methods(self, gateway):
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            conn.request("GET", "/v1/nope")
+            response = conn.getresponse()
+            assert response.status == 404
+            assert json.loads(response.read())["error"]["code"] == "NOT_FOUND"
+            conn.request("PUT", "/v1/topl", body=b"{}")
+            response = conn.getresponse()
+            assert response.status == 405
+            body = json.loads(response.read())
+            assert body["error"]["code"] == "METHOD_NOT_ALLOWED"
+        finally:
+            conn.close()
+
+    def test_malformed_body_is_a_structured_error(self, gateway):
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/topl",
+                body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert (
+                json.loads(response.read())["error"]["code"] == "MALFORMED_REQUEST"
+            )
+            # ... and the connection is still usable afterwards.
+            conn.request("GET", "/v1/health")
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
+
+
+class TestStreaming:
+    def test_ndjson_batch_stream(self, gateway):
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            document = BatchRequest(session="hosted", queries=(TOPL, TOPL)).to_json()
+            conn.request(
+                "POST",
+                "/v1/batch?stream=1",
+                body=json.dumps(document),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            lines = [json.loads(line) for line in response.read().splitlines()]
+        finally:
+            conn.close()
+        assert [line["kind"] for line in lines] == ["result", "result", "summary"]
+        assert lines[-1]["answered"] == 2
+
+    def test_disconnect_mid_stream_is_quiet(self, gateway):
+        """A client that vanishes mid-stream must not wedge the gateway."""
+        before = gateway.statistics()["streamed"]
+        conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        document = BatchRequest(
+            session="hosted", queries=tuple([TOPL] * 6)
+        ).to_json()
+        conn.request(
+            "POST",
+            "/v1/batch?stream=1",
+            body=json.dumps(document),
+            headers={"Content-Type": "application/json"},
+        )
+        # Read the status line, then hang up without draining the stream.
+        response = conn.getresponse()
+        assert response.status == 200
+        conn.close()
+        assert gateway.statistics()["streamed"] == before + 1
+        # The gateway still answers new connections.
+        probe = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            probe.request("GET", "/v1/health")
+            assert probe.getresponse().status == 200
+        finally:
+            probe.close()
+
+
+class _SlowService(CommunityService):
+    """Counts executions and holds each one until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+        self.release = threading.Event()
+
+    def handle_json(self, endpoint, payload):
+        self.calls += 1
+        self.release.wait(timeout=10)
+        return {"ok": True, "calls": self.calls}, None
+
+
+def _fetch(gateway, results, index):
+    conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+    try:
+        status, body = post(conn, "/v1/topl", {"same": "payload"})
+        results[index] = (status, body)
+    finally:
+        conn.close()
+
+
+class TestCoalescingAndBackpressure:
+    def test_identical_inflight_requests_execute_once(self):
+        service = _SlowService()
+        with AsyncServiceGateway(service, port=0) as gateway:
+            results = {}
+            threads = [
+                threading.Thread(target=_fetch, args=(gateway, results, index))
+                for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 5
+            while service.calls == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            # Give the stragglers time to land on the in-flight future.
+            time.sleep(0.3)
+            service.release.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert service.calls == 1
+            assert [results[i] for i in range(4)] == [(200, {"ok": True, "calls": 1})] * 4
+            assert gateway.statistics()["coalesced"] == 3
+
+    def test_mutations_are_never_coalesced(self):
+        service = _SlowService()
+        service.release.set()  # no need to block for this one
+        with AsyncServiceGateway(service, port=0) as gateway:
+            conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+            try:
+                post(conn, "/v1/update", {"same": "payload"})
+                post(conn, "/v1/update", {"same": "payload"})
+            finally:
+                conn.close()
+            assert service.calls == 2
+            assert gateway.statistics()["coalesced"] == 0
+
+    def test_overload_answers_429_with_retry_after(self):
+        service = _SlowService()
+        with AsyncServiceGateway(service, port=0, max_pending=1) as gateway:
+            results = {}
+            # Two *different* payloads so coalescing cannot absorb the second.
+            blocker = threading.Thread(
+                target=lambda: _fetch(gateway, results, 0)
+            )
+            blocker.start()
+            deadline = time.time() + 5
+            while service.calls == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/topl",
+                    body=json.dumps({"different": "payload"}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+            finally:
+                conn.close()
+            service.release.set()
+            blocker.join(timeout=10)
+            assert response.status == 429
+            assert response.getheader("Retry-After") == "1"
+            assert body["error"]["code"] == "OVERLOADED"
+            assert gateway.statistics()["rejected"] == 1

@@ -1,0 +1,146 @@
+"""Threaded-gateway robustness: keep-alive reuse and disconnect handling.
+
+Regression tests for two production bugs:
+
+* a client that disconnected mid-NDJSON-stream crashed the handler thread —
+  the ``except`` block wrote the terminal *error line* into the broken pipe
+  it was handling, raising a second exception with no handler;
+* a request with an unconsumed body (bad ``Content-Length``) left unread
+  bytes on a kept-alive connection, which the next request-line parse then
+  misread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+import pytest
+
+from repro.query.params import make_topl_query
+from repro.service.facade import CommunityService
+from repro.service.gateway import ServiceGateway
+from repro.service.schema import BatchRequest, ToplRequest
+
+TOPL = make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3)
+
+
+@pytest.fixture(scope="module")
+def gateway(built_engine):
+    service = CommunityService()
+    service.adopt(built_engine, session="hosted")
+    with ServiceGateway(service, port=0) as running:
+        yield running
+
+
+def test_keep_alive_reuses_one_connection(gateway):
+    """Two sequential requests on one HTTP/1.1 connection (the keep-alive
+    contract ``protocol_version = "HTTP/1.1"`` + Content-Length promises)."""
+    conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+    try:
+        sockets = []
+        for _ in range(2):
+            conn.request(
+                "POST",
+                "/v1/topl",
+                body=json.dumps(ToplRequest(query=TOPL, session="hosted").to_json()),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            sockets.append(conn.sock)
+        # http.client only keeps `sock` when the server honoured keep-alive;
+        # the same object on both requests proves one TCP connection.
+        assert sockets[0] is sockets[1] is not None
+    finally:
+        conn.close()
+
+
+def test_disconnect_mid_stream_does_not_crash_the_handler(gateway):
+    """Hang up mid-NDJSON-stream; the gateway must stay serviceable."""
+    import struct
+
+    document = BatchRequest(session="hosted", queries=tuple([TOPL] * 8)).to_json()
+    body = json.dumps(document).encode("utf-8")
+    with socket.create_connection((gateway.host, gateway.port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /v1/batch?stream=1 HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        # Wait for the stream to start (status line + first result line),
+        # then vanish abruptly (RST via SO_LINGER 0, the rudest way a
+        # client can leave).
+        raw.settimeout(10)
+        data = b""
+        while data.count(b"\n") < 2:
+            chunk = raw.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        assert data.startswith(b"HTTP/1.1 200")
+        raw.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    time.sleep(0.2)  # let the handler hit the broken pipe
+    # The gateway answers follow-up requests: the handler died quietly.
+    probe = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+    try:
+        probe.request("GET", "/v1/health")
+        assert probe.getresponse().status == 200
+    finally:
+        probe.close()
+
+
+def test_invalid_content_length_closes_the_connection(gateway):
+    """An unconsumed body must not poison the keep-alive byte stream."""
+    with socket.create_connection((gateway.host, gateway.port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /v1/topl HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: nonsense\r\n"
+            b"\r\n"
+        )
+        raw.settimeout(10)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = raw.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+        assert " 400 " in head.splitlines()[0]
+        assert "connection: close" in head.lower()
+        # The server closes: recv drains to EOF instead of waiting for a
+        # next request that would misparse leftover bytes.
+        while True:
+            chunk = raw.recv(4096)
+            if not chunk:
+                break
+
+
+def test_oversized_content_length_closes_the_connection(gateway):
+    from repro.service.gateway import MAX_BODY_BYTES
+
+    with socket.create_connection((gateway.host, gateway.port), timeout=30) as raw:
+        raw.sendall(
+            b"POST /v1/topl HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode() + b"\r\n"
+            b"\r\n"
+        )
+        raw.settimeout(10)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = raw.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+        head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+        assert " 400 " in head.splitlines()[0]
+        assert "connection: close" in head.lower()

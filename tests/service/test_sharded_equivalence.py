@@ -1,0 +1,162 @@
+"""Shard-merge equivalence: the acceptance gate of the sharded serving tier.
+
+The sharded facade's answers must be **bit-identical** to the unsharded
+facade's over the full lifecycle — single queries, mixed batches, and
+queries re-asked after updates — for every shard count and both graph-core
+backends.  All comparisons are on wire forms pushed through real JSON text,
+with the work-accounting fields (``statistics``/``cache_statistics``)
+stripped: a fan-out legitimately *works* differently, it must never
+*answer* differently.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.dynamic.updates import random_update_batch
+from repro.graph.datasets import uni
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.service.facade import CommunityService
+from repro.service.schema import BatchRequest, UpdateRequest, result_to_wire
+from repro.service.sharded import ShardedCommunityService
+
+QUERIES = [
+    make_topl_query({"movies", "books"}, k=3, radius=2, theta=0.2, top_l=3),
+    make_topl_query({"sports"}, k=3, radius=1, theta=0.1, top_l=5),
+    make_topl_query({"movies"}, k=4, radius=2, theta=0.1, top_l=4),
+    make_dtopl_query({"movies", "music"}, k=3, radius=2, theta=0.2, top_l=2),
+    make_dtopl_query({"books"}, k=4, radius=2, theta=0.1, top_l=3, candidate_factor=2),
+]
+
+_WORK_FIELDS = ("statistics", "cache_statistics", "elapsed_seconds", "elapsed_ms")
+
+
+def answers_only(document) -> dict:
+    """Canonical answer-bearing wire form, through real JSON text."""
+
+    def strip(node):
+        if isinstance(node, dict):
+            for key in _WORK_FIELDS:
+                node.pop(key, None)
+            for value in node.values():
+                strip(value)
+        elif isinstance(node, list):
+            for value in node:
+                strip(value)
+
+    document = json.loads(json.dumps(document))
+    strip(document)
+    return document
+
+
+def fresh_engine(backend: str) -> InfluentialCommunityEngine:
+    # A fresh graph per engine: updates mutate the graph in place, so the
+    # two facades must never share one object.
+    return InfluentialCommunityEngine.build(
+        uni(num_vertices=120, rng=5),
+        config=EngineConfig(max_radius=2, backend=backend),
+        validate=False,
+    )
+
+
+@pytest.fixture(
+    scope="module",
+    params=[(2, "reference"), (3, "reference"), (4, "reference"), (3, "fast")],
+    ids=["2shards-ref", "3shards-ref", "4shards-ref", "3shards-fast"],
+)
+def pair(request):
+    """(plain, sharded) services over identical graphs, shard count varied."""
+    num_shards, backend = request.param
+    plain = CommunityService()
+    plain.adopt(fresh_engine(backend), session="eq")
+    sharded = ShardedCommunityService(num_shards=num_shards, mode="inline")
+    sharded.adopt(fresh_engine(backend), session="eq")
+    yield plain, sharded
+    sharded.close()
+
+
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    def test_single_queries_bit_identical(self, pair, query_index):
+        plain, sharded = pair
+        query = QUERIES[query_index]
+        expected = answers_only(result_to_wire(plain.answer_one("eq", query)))
+        answered = answers_only(result_to_wire(sharded.answer_one("eq", query)))
+        assert answered == expected
+
+    def test_batch_bit_identical(self, pair):
+        plain, sharded = pair
+        request = BatchRequest(session="eq", queries=tuple(QUERIES))
+        expected = answers_only(list(plain.batch(request).results))
+        answered = answers_only(list(sharded.batch(request).results))
+        assert answered == expected
+
+    def test_equivalence_survives_updates(self, pair):
+        """Broadcast updates keep every shard on the router's epoch."""
+        plain, sharded = pair
+        for rng in (21, 22):
+            batch = random_update_batch(plain.engine("eq").graph, 5, rng=rng)
+            edits = tuple(batch)
+            plain.update(UpdateRequest(session="eq", edits=edits))
+            sharded.update(UpdateRequest(session="eq", edits=edits))
+            for query in QUERIES[:3]:
+                expected = answers_only(result_to_wire(plain.answer_one("eq", query)))
+                answered = answers_only(
+                    result_to_wire(sharded.answer_one("eq", query))
+                )
+                assert answered == expected
+
+    def test_pruning_override_falls_back_to_router(self, pair):
+        """Request-level pruning overrides answer off the router engine."""
+        from repro.service.schema import ToplRequest
+
+        plain, sharded = pair
+        request = ToplRequest(
+            session="eq", query=QUERIES[0], pruning={"score": False}
+        )
+        expected = answers_only(plain.topl(request).to_json())
+        answered = answers_only(sharded.topl(request).to_json())
+        expected.pop("session", None)
+        answered.pop("session", None)
+        assert answered == expected
+
+
+def test_health_reports_shard_topology():
+    sharded = ShardedCommunityService(num_shards=2, mode="inline")
+    sharded.adopt(fresh_engine("reference"), session="topo")
+    try:
+        response = sharded.health()
+        (entry,) = [s for s in response.sessions if s["name"] == "topo"]
+        assert entry["shards"]["num_shards"] == 2
+        assert entry["shards"]["mode"] == "inline"
+        assert all(
+            replica["alive"]
+            for shard in entry["shards"]["shards"]
+            for replica in shard["replicas"]
+        )
+    finally:
+        sharded.close()
+
+
+def test_merge_rejects_out_of_sync_worker():
+    """A returned centre missing from the canonical order fails loudly."""
+    from repro.exceptions import ServingError
+    from repro.influence.propagation import InfluencedCommunity
+    from repro.query.results import SeedCommunity
+    from repro.service.sharded.merge import merge_shard_candidates
+
+    ghost = SeedCommunity(
+        center="nobody",
+        vertices=frozenset({"nobody"}),
+        influenced=InfluencedCommunity(
+            seed_vertices=frozenset({"nobody"}), cpp={"nobody": 1.0}, threshold=0.1
+        ),
+        k=3,
+        radius=2,
+    )
+    with pytest.raises(ServingError, match="out of sync"):
+        merge_shard_candidates([[ghost]], positions={}, capacity=3)

@@ -1,0 +1,175 @@
+"""Worker-pool behaviour: replication, failover, degradation, restart.
+
+These tests run the real process-backed pool (2 shards x 2 replicas):
+round-robin routing over live replicas, hard-killed replicas failing over
+mid-batch without changing a single answer, ``restart_dead`` respawning
+from the router engine, and the loud failure once every replica of a shard
+is gone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.exceptions import ServingError
+from repro.graph.datasets import uni
+from repro.query.params import make_topl_query
+from repro.service.facade import CommunityService
+from repro.service.schema import BatchRequest, result_to_wire
+from repro.service.sharded import ShardedCommunityService
+from repro.serve.batch import ServingConfig
+
+#: Distinct queries, so no answer is served from the result cache and every
+#: one exercises the fan-out (degradation must be observable).
+QUERIES = [
+    make_topl_query({"movies"}, k=3, radius=2, theta=theta, top_l=4)
+    for theta in (0.05, 0.1, 0.15, 0.2, 0.25, 0.3)
+]
+
+_WORK_FIELDS = ("statistics", "cache_statistics", "elapsed_seconds", "elapsed_ms")
+
+
+def answers_only(document):
+    def strip(node):
+        if isinstance(node, dict):
+            for key in _WORK_FIELDS:
+                node.pop(key, None)
+            for value in node.values():
+                strip(value)
+        elif isinstance(node, list):
+            for value in node:
+                strip(value)
+
+    document = json.loads(json.dumps(document))
+    strip(document)
+    return document
+
+
+def fresh_engine():
+    return InfluentialCommunityEngine.build(
+        uni(num_vertices=100, rng=5),
+        config=EngineConfig(max_radius=2),
+        validate=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """The unsharded facade's answers (cache off) for every test query."""
+    plain = CommunityService(
+        serving_config=ServingConfig(result_cache_capacity=0)
+    )
+    plain.adopt(fresh_engine(), session="pool")
+    return [
+        answers_only(result_to_wire(plain.answer_one("pool", query)))
+        for query in QUERIES
+    ]
+
+
+@pytest.fixture()
+def sharded():
+    service = ShardedCommunityService(
+        num_shards=2,
+        replicas=2,
+        mode="process",
+        serving_config=ServingConfig(result_cache_capacity=0),
+    )
+    service.adopt(fresh_engine(), session="pool")
+    yield service
+    service.close()
+
+
+class TestPool:
+    def test_round_robin_and_health(self, sharded, expected):
+        for query, answer in zip(QUERIES[:4], expected):
+            assert (
+                answers_only(result_to_wire(sharded.answer_one("pool", query)))
+                == answer
+            )
+        health = sharded.pool("pool").health()
+        assert health["num_shards"] == 2
+        assert health["replicas"] == 2
+        assert health["mode"] == "process"
+        assert all(
+            replica["alive"] and "pid" in replica
+            for shard in health["shards"]
+            for replica in shard["replicas"]
+        )
+
+    def test_killed_replica_degrades_not_fails(self, sharded, expected):
+        """A hard-killed replica mid-batch: identical answers, no error."""
+        pool = sharded.pool("pool")
+        first = sharded.answer_one("pool", QUERIES[0])
+        assert answers_only(result_to_wire(first)) == expected[0]
+        # The failure injector: one replica of shard 0 dies undetected.
+        pool.kill_replica(0, 0)
+        response = sharded.batch(
+            BatchRequest(session="pool", queries=tuple(QUERIES[1:]))
+        )
+        assert [answers_only(r) for r in response.results] == expected[1:]
+        health = pool.health()
+        alive = [
+            replica["alive"]
+            for shard in health["shards"]
+            for replica in shard["replicas"]
+        ]
+        assert alive.count(False) == 1  # the killed one, now detected
+
+    def test_restart_dead_revives_from_router(self, sharded, expected):
+        pool = sharded.pool("pool")
+        pool.kill_replica(1, 1)
+        # Detection happens on the next routed request or in restart_dead's
+        # own liveness probe — either way one respawn must happen.
+        assert pool.restart_dead() == 1
+        assert pool.restarts == 1
+        health = pool.health()
+        assert all(
+            replica["alive"]
+            for shard in health["shards"]
+            for replica in shard["replicas"]
+        )
+        assert (
+            answers_only(result_to_wire(sharded.answer_one("pool", QUERIES[5])))
+            == expected[5]
+        )
+
+    def test_whole_shard_down_fails_loudly(self, sharded):
+        pool = sharded.pool("pool")
+        pool.kill_replica(0, 0)
+        pool.kill_replica(0, 1)
+        with pytest.raises(ServingError, match="unavailable"):
+            sharded.answer_one("pool", QUERIES[2])
+
+
+def test_inline_failover_and_exhaustion():
+    """The inline pool honours the same liveness contract as processes."""
+    service = ShardedCommunityService(num_shards=2, replicas=2, mode="inline")
+    service.adopt(fresh_engine(), session="pool")
+    try:
+        pool = service.pool("pool")
+        pool.kill_replica(0, 0)
+        result = service.answer_one("pool", QUERIES[0])  # replica 1 serves
+        assert result.communities is not None
+        pool.kill_replica(0, 1)
+        with pytest.raises(ServingError, match="unavailable"):
+            service.answer_one("pool", QUERIES[1])
+        assert pool.restart_dead() == 2
+    finally:
+        service.close()
+
+
+def test_shard_plan_is_stable_and_total():
+    from repro.service.sharded import ShardPlan
+
+    plan = ShardPlan(4)
+    owners = {vertex: plan.owner(vertex) for vertex in range(1000)}
+    assert set(owners.values()) <= set(range(4))
+    # crc32-based ownership is deterministic across processes and runs.
+    assert owners == {vertex: plan.owner(vertex) for vertex in range(1000)}
+    sizes = plan.partition_sizes(range(1000))
+    assert sum(sizes) == 1000
+    assert all(size > 0 for size in sizes)
