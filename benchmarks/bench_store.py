@@ -1,0 +1,262 @@
+"""Cold start: mmap store attach vs JSON load + offline rebuild.
+
+A serving process that restarts today pays the full cold-start bill: parse
+the graph JSON, re-intern every vertex, and re-run the offline phase
+(Algorithm 2 pre-computation + tree construction).  ``repro.store`` packs
+the frozen offline phase into a checksummed binary container whose numeric
+buffers reconstruct as zero-copy views over one ``mmap`` — opening it skips
+all of that.  This bench measures both cold-start paths on the repo's
+5k-edge bench network (shared with ``bench_index_build``) and records the
+speedup in ``BENCH_store.json``; the committed target is **>= 10x**.
+
+Correctness is part of the bench: a store-backed session must be
+indistinguishable from one built in-process.  Both TopL-ICDE and
+DTopL-ICDE answers are compared on the wire (the complete
+``result_to_wire`` form, timings stripped) between the store-backed and the
+built engine, on **both** backends — bit-identical or the bench fails.
+
+Run as a pytest module (``pytest benchmarks/bench_store.py``) or standalone
+to record the JSON baseline::
+
+    python benchmarks/bench_store.py --out BENCH_store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_index_build import GRAPH_SEED, build_bench_network
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.graph.io import load_graph_json, save_graph_json
+from repro.service.schema import result_to_wire
+from repro.store import pack_store
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.reporting import bench_envelope
+
+#: Communities in the bench network (scaled down under
+#: REPRO_BENCH_STORE_COMMUNITIES for the CI smoke).
+NUM_COMMUNITIES = int(os.environ.get("REPRO_BENCH_STORE_COMMUNITIES", "14"))
+#: Vertices per community.
+COMMUNITY_SIZE = int(os.environ.get("REPRO_BENCH_STORE_COMMUNITY_SIZE", "50"))
+#: Query-shape seed for the equivalence probes.
+QUERY_SEED = 41
+#: Equivalence probes per backend (each runs as TopL *and* DTopL).
+NUM_PROBES = 4
+
+_CONFIG = EngineConfig(max_radius=2, thresholds=(0.1, 0.2, 0.3))
+_BACKENDS = ("reference", "fast")
+
+
+def _build_config(backend: str) -> EngineConfig:
+    import dataclasses
+
+    return dataclasses.replace(_CONFIG, backend=backend)
+
+
+def measure_cold_starts(graph_json: str, store_path: str, backend: str) -> dict:
+    """Time both cold-start paths to a ready engine on one backend.
+
+    ``baseline``: parse the graph JSON and run the offline phase — what a
+    restarted process pays today.  ``store``: open the packed store (mmap
+    attach, no offline phase).  Returns the timings plus both engines so the
+    caller can run the answer-equivalence gate on them.
+    """
+    started = time.perf_counter()
+    graph = load_graph_json(graph_json)
+    built = InfluentialCommunityEngine.build(
+        graph, config=_build_config(backend), validate=False
+    )
+    baseline_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    attached = InfluentialCommunityEngine.from_store(
+        store_path, config_overrides={"backend": backend}
+    )
+    store_seconds = time.perf_counter() - started
+    return {
+        "backend": backend,
+        "baseline_seconds": round(baseline_seconds, 4),
+        "store_seconds": round(store_seconds, 4),
+        "speedup": round(baseline_seconds / max(store_seconds, 1e-9), 3),
+        "_built": built,
+        "_attached": attached,
+    }
+
+
+def _strip_timings(node) -> None:
+    if isinstance(node, dict):
+        node.pop("elapsed_seconds", None)
+        for value in node.values():
+            _strip_timings(value)
+    elif isinstance(node, list):
+        for value in node:
+            _strip_timings(value)
+
+
+def _wire(result) -> dict:
+    """Timing-free canonical wire form, through real JSON text."""
+    document = json.loads(json.dumps(result_to_wire(result), default=str))
+    _strip_timings(document)
+    return document
+
+
+def assert_answers_identical(built, attached) -> None:
+    """The equivalence gate: store-backed answers == built-in-process answers.
+
+    Samples mixed query shapes from the bench network's keyword domain and
+    compares the complete wire form of every TopL and DTopL answer.
+    """
+    workload = QueryWorkload(built.graph, rng=QUERY_SEED)
+    for _ in range(NUM_PROBES):
+        topl = workload.topl_query(num_keywords=3, k=3, radius=2, theta=0.1, top_l=4)
+        assert _wire(built.topl(topl)) == _wire(attached.topl(topl)), topl
+        dtopl = workload.dtopl_query(
+            num_keywords=3, k=3, radius=2, theta=0.1, top_l=3, candidate_factor=3
+        )
+        assert _wire(built.dtopl(dtopl)) == _wire(attached.dtopl(dtopl)), dtopl
+
+
+def prepare_artifacts(graph, directory: str) -> tuple[str, str]:
+    """Write the bench network's graph JSON and packed store (both untimed)."""
+    graph_json = str(Path(directory) / "bench.json")
+    store_path = str(Path(directory) / "bench.repro-store")
+    save_graph_json(graph, graph_json)
+    packer = InfluentialCommunityEngine.build(graph, config=_CONFIG, validate=False)
+    pack_store(packer, store_path)
+    return graph_json, store_path
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def bench_artifacts(tmp_path_factory):
+    graph = build_bench_network(NUM_COMMUNITIES, COMMUNITY_SIZE)
+    directory = tmp_path_factory.mktemp("store-bench")
+    graph_json, store_path = prepare_artifacts(graph, str(directory))
+    return graph_json, store_path
+
+
+@pytest.fixture(scope="module", params=_BACKENDS)
+def cold_starts(request, bench_artifacts):
+    graph_json, store_path = bench_artifacts
+    return measure_cold_starts(graph_json, store_path, request.param)
+
+
+def test_store_answers_identical(cold_starts):
+    """Correctness gate: bit-identical answers, whatever the timings say."""
+    assert_answers_identical(cold_starts["_built"], cold_starts["_attached"])
+
+
+def test_store_cold_start_is_faster(cold_starts):
+    """Speedup floor, asserted only at full benchmark scale.
+
+    A single timing pair on a shrunken smoke network is noise on shared CI
+    runners, so below full scale this skips — the equivalence gate above is
+    the CI assertion, and the committed >= 10x number lives in
+    ``BENCH_store.json`` via the best-of-N standalone recorder.
+    """
+    if NUM_COMMUNITIES < 14:
+        pytest.skip(
+            "cold-start speedup is only meaningful at full scale "
+            f"(REPRO_BENCH_STORE_COMMUNITIES={NUM_COMMUNITIES} < 14)"
+        )
+    speedup = cold_starts["speedup"]
+    assert speedup >= 10.0, (
+        f"store attach only {speedup:.2f}x over JSON load + rebuild "
+        f"on the {cold_starts['backend']} backend"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# standalone baseline recorder
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--communities", type=int, default=NUM_COMMUNITIES)
+    parser.add_argument("--community-size", type=int, default=COMMUNITY_SIZE)
+    parser.add_argument("--repeats", type=int, default=3, help="keep the best of N runs")
+    parser.add_argument("--out", default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+
+    graph = build_bench_network(args.communities, args.community_size)
+    print(f"bench network: |V| = {graph.num_vertices()}, |E| = {graph.num_edges()}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as directory:
+        graph_json, store_path = prepare_artifacts(graph, directory)
+        store_bytes = os.path.getsize(store_path)
+        json_bytes = os.path.getsize(graph_json)
+        print(f"artifacts: graph JSON {json_bytes} bytes, store {store_bytes} bytes")
+
+        best: dict[str, dict] = {}
+        for attempt in range(args.repeats):
+            for backend in _BACKENDS:
+                measurement = measure_cold_starts(graph_json, store_path, backend)
+                if backend not in best or measurement["speedup"] > best[backend]["speedup"]:
+                    best[backend] = measurement
+                print(
+                    f"run {attempt + 1} {backend:9s}: baseline "
+                    f"{measurement['baseline_seconds']:.3f}s vs store attach "
+                    f"{measurement['store_seconds']:.4f}s "
+                    f"({measurement['speedup']:.1f}x)"
+                )
+
+        for backend in _BACKENDS:
+            assert_answers_identical(best[backend]["_built"], best[backend]["_attached"])
+        print("equivalence gate: store-backed answers bit-identical on both backends")
+
+    speedup = min(best[backend]["speedup"] for backend in _BACKENDS)
+    print(f"cold-start speedup (store attach vs JSON + rebuild, min over backends): {speedup:.1f}x")
+    if speedup < 10.0:
+        print("WARNING: below the committed 10x target", file=sys.stderr)
+
+    report = {
+        # equivalence=True: bit-identical wire answers were asserted above.
+        **bench_envelope(
+            "store_cold_start",
+            seed=GRAPH_SEED,
+            speedup_factor=speedup,
+            equivalence=True,
+        ),
+        "network": {
+            "name": graph.name,
+            "num_vertices": graph.num_vertices(),
+            "num_edges": graph.num_edges(),
+            "communities": args.communities,
+            "community_size": args.community_size,
+        },
+        "config": _CONFIG.describe(),
+        "artifacts": {"graph_json_bytes": json_bytes, "store_bytes": store_bytes},
+        "repeats": args.repeats,
+        "measurements": {
+            backend: {
+                key: value
+                for key, value in best[backend].items()
+                if not key.startswith("_")
+            }
+            for backend in _BACKENDS
+        },
+        "speedup_store_vs_rebuild": round(speedup, 3),
+        "equivalence_gate": (
+            "TopL and DTopL wire answers bit-identical, store-backed vs "
+            "built in-process, both backends"
+        ),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

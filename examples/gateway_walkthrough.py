@@ -71,6 +71,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--replicas", type=int, default=1, help="read replicas per shard"
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="build the session from a packed repro.store file instead of an "
+        "inline graph document (exercises the mmap cold-start path)",
+    )
     args = parser.parse_args(argv)
 
     transcripts: list[tuple[str, dict, dict]] = []
@@ -96,16 +102,42 @@ def main(argv=None) -> int:
         service = CommunityService()
         gateway_factory = lambda: ServiceGateway(service, port=0)  # noqa: E731
 
+    store_dir = None
+    store_path = None
+    if args.store:
+        # Pack the offline phase into a store file up front; the gateway
+        # session then cold-starts from it (no offline phase server-side).
+        import tempfile
+
+        from repro.core.config import EngineConfig
+        from repro.core.engine import InfluentialCommunityEngine
+        from repro.store import pack_store
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-store-")
+        store_path = str(Path(store_dir.name) / "walkthrough.repro-store")
+        packed = InfluentialCommunityEngine.build(graph, config=EngineConfig(max_radius=2))
+        info = pack_store(packed, store_path)
+        print(f"packed store: {info['sections']} sections, {info['file_size']} bytes")
+
     with gateway_factory() as gateway:
         print(f"gateway listening on {gateway.url}")
 
-        build_doc = BuildRequest(
-            session="walkthrough",
-            graph=graph_to_dict(graph),
-            config={"max_radius": 2},
-        ).to_json()
+        if args.store:
+            build_doc = BuildRequest(
+                session="walkthrough", store_path=store_path
+            ).to_json()
+        else:
+            build_doc = BuildRequest(
+                session="walkthrough",
+                graph=graph_to_dict(graph),
+                config={"max_radius": 2},
+            ).to_json()
         build = step("build", build_doc, post(gateway.url + "/v1/build", build_doc))
         assert build["epoch"] == 0, build
+        if args.store:
+            provenance = build["engine"]["store"]
+            assert provenance["store_backed"] and provenance["attached"], provenance
+            assert provenance["residency"] == "mmap", provenance
 
         topl_doc = ToplRequest(query=query, session="walkthrough").to_json()
         before = step("topl", topl_doc, post(gateway.url + "/v1/topl", topl_doc))
@@ -143,6 +175,12 @@ def main(argv=None) -> int:
         transcripts.append(("health", {"query": query_to_wire(query)}, health))
         (session,) = [s for s in health["sessions"] if s["name"] == "walkthrough"]
         assert session["epoch"] == 1
+        if args.store:
+            # Still store-backed, but the update moved the engine past the
+            # packed generation — provenance must say so.
+            provenance = session["engine"]["store"]
+            assert provenance["store_backed"], provenance
+            assert not provenance["attached"], provenance
         if args.shards > 0:
             shards = session["shards"]
             assert shards["num_shards"] == args.shards, shards
@@ -154,6 +192,8 @@ def main(argv=None) -> int:
 
     if args.shards > 0:
         service.close()
+    if store_dir is not None:
+        store_dir.cleanup()
 
     if args.out:
         out_dir = Path(args.out)

@@ -36,6 +36,7 @@ from repro.exceptions import (
     ServiceRequestError,
     ServingError,
     SessionExistsError,
+    StoreFormatError,
     UnknownSessionError,
     UnsupportedSchemaVersionError,
     VertexNotFoundError,
@@ -74,6 +75,7 @@ __all__ = [
     "ServiceRequestError",
     "ServingError",
     "SessionExistsError",
+    "StoreFormatError",
     "UnknownSessionError",
     "UnsupportedSchemaVersionError",
     "VertexNotFoundError",

@@ -18,6 +18,9 @@ The CLI wires the library's pieces together for shell usage::
     repro scenario run planted-wc-bursty --spec my_scenario.toml
     repro scenario report BENCH_scenarios.json
     repro scenario validate BENCH_*.json             # BENCH schema gate
+    repro store pack graph.json --out graph.repro-store
+    repro store inspect graph.repro-store            # header + section table
+    repro store verify graph.repro-store             # checksums + full decode
 
 Every data-plane subcommand routes through the versioned service API —
 :class:`repro.service.CommunityService` and the typed request objects of
@@ -290,6 +293,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="BENCH JSON files (default: ./BENCH_*.json)",
     )
+
+    store = subparsers.add_parser(
+        "store",
+        help="persistent binary store: pack / inspect / verify "
+        "(mmap cold start, docs/store.md)",
+    )
+    store_actions = store.add_subparsers(dest="action", required=True)
+
+    store_pack = store_actions.add_parser(
+        "pack", help="run the offline phase and pack graph + index into a store file"
+    )
+    store_pack.add_argument("graph", help="graph JSON produced by `repro generate`")
+    store_pack.add_argument("--out", required=True, help="output store path")
+    store_pack.add_argument(
+        "--index",
+        default=None,
+        help="pack this pre-built index JSON instead of re-running the offline phase",
+    )
+    store_pack.add_argument("--max-radius", type=int, default=3)
+    store_pack.add_argument(
+        "--thresholds", default="0.1,0.2,0.3", help="comma-separated pre-selected thresholds"
+    )
+    store_pack.add_argument("--fanout", type=int, default=8)
+    store_pack.add_argument("--leaf-capacity", type=int, default=16)
+    _add_backend_argument(store_pack)
+
+    store_inspect = store_actions.add_parser(
+        "inspect", help="print the store header, section table and meta as JSON"
+    )
+    store_inspect.add_argument("store", help="store file produced by `repro store pack`")
+
+    store_verify = store_actions.add_parser(
+        "verify",
+        help="fully verify a store (structure, checksums, payload decode)",
+    )
+    store_verify.add_argument("store", help="store file produced by `repro store pack`")
 
     return parser
 
@@ -916,6 +955,56 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 2 if failures else 0
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.store import inspect_store, pack_store, verify_store
+
+    if args.action == "pack":
+        config: dict = {"backend": getattr(args, "backend", "reference")}
+        if not args.index:
+            thresholds = [float(token) for token in args.thresholds.split(",") if token]
+            config.update(
+                {
+                    "max_radius": args.max_radius,
+                    "thresholds": thresholds,
+                    "fanout": args.fanout,
+                    "leaf_capacity": args.leaf_capacity,
+                }
+            )
+        service = CommunityService()
+        started = time.perf_counter()
+        service.build(
+            BuildRequest(
+                session=CLI_SESSION,
+                graph_path=args.graph,
+                index_path=args.index or None,
+                config=config,
+            )
+        )
+        engine = service.engine(CLI_SESSION)
+        info = pack_store(engine, args.out)
+        print(
+            f"packed {engine.graph.name}: |V| = {engine.graph.num_vertices()}, "
+            f"|E| = {engine.graph.num_edges()} into {info['sections']} sections "
+            f"({info['file_size']} bytes) in {time.perf_counter() - started:.2f}s"
+        )
+        print(f"store written to {args.out}")
+        return 0
+    if args.action == "inspect":
+        document = inspect_store(args.store)
+    else:
+        # verify: a store that verifies clean is guaranteed to open.
+        document = verify_store(args.store)
+    try:
+        print(json.dumps(document, indent=2))
+    except BrokenPipeError:
+        # `repro store inspect ... | head` closed the pipe; point stdout at
+        # devnull so the interpreter's exit-time flush stays quiet too.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
@@ -928,6 +1017,7 @@ _COMMANDS = {
     "update": _command_update,
     "gateway": _command_gateway,
     "scenario": _command_scenario,
+    "store": _command_store,
 }
 
 

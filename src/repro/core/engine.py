@@ -81,6 +81,14 @@ class InfluentialCommunityEngine:
         #: spawn-mode serving workers replay these to rebuild the overlay
         #: instead of re-freezing.  Reset by rebuilds and compactions.
         self._edit_log: list[UpdateBatch] = []
+        #: Store anchoring (see :meth:`from_store` / :meth:`checkpoint_store`):
+        #: the open :class:`~repro.store.StoreHandle` (keeps the mmap pages
+        #: alive), its provenance dict, and the engine epoch the store file
+        #: matches.  Workers may attach to the file only while
+        #: ``epoch == _store_epoch`` (:meth:`store_attachment`).
+        self._store_handle = None
+        self._store_info: Optional[dict] = None
+        self._store_epoch: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -146,9 +154,111 @@ class InfluentialCommunityEngine:
         )
         return cls(graph=graph, index=index, config=config)
 
+    @classmethod
+    def from_store(
+        cls,
+        path: Union[str, Path],
+        config: Optional[EngineConfig] = None,
+        config_overrides: Optional[dict] = None,
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> "InfluentialCommunityEngine":
+        """Open a packed store file as a ready engine — no offline phase.
+
+        The store carries the frozen graph, the pre-computed records and the
+        index shape; opening reconstructs all of them (the CSR buffers as
+        zero-copy views into the store ``mmap`` by default) and rebuilds the
+        deterministic tree, so the engine answers bit-identically to the one
+        that was packed.  On the ``fast`` backend the store's CSR *is* the
+        engine snapshot: no ``freeze()`` is ever paid.
+
+        ``config`` replaces the packed :class:`EngineConfig` wholesale;
+        ``config_overrides`` patches individual fields of it (e.g.
+        ``{"backend": "reference"}``).  The offline-shape fields
+        (``max_radius`` / ``thresholds`` / ``num_bits``) cannot be changed
+        this way — they are baked into the packed records.
+        """
+        import dataclasses
+
+        from repro.store import open_store
+
+        handle = open_store(path, mmap=mmap, verify=verify)
+        engine_config = handle.config if config is None else config
+        if config_overrides:
+            engine_config = dataclasses.replace(engine_config, **config_overrides)
+        for field in ("max_radius", "thresholds", "num_bits"):
+            if getattr(engine_config, field) != getattr(handle.config, field):
+                raise QueryParameterError(
+                    f"cannot override {field} when opening a store (packed "
+                    f"{getattr(handle.config, field)!r}, requested "
+                    f"{getattr(engine_config, field)!r}); re-pack instead"
+                )
+        engine = cls(graph=handle.graph, index=handle.index, config=engine_config)
+        if engine_config.backend == "fast":
+            engine._frozen = handle.csr
+        engine._store_handle = handle
+        engine._store_info = {
+            key: handle.info[key]
+            for key in ("path", "format_version", "file_size", "residency", "generation")
+        }
+        engine._store_epoch = engine.epoch
+        return engine
+
     def save_index(self, path: Union[str, Path]) -> None:
         """Persist the offline pre-computation so future runs can skip it."""
         save_index(self.index, path)
+
+    def checkpoint_store(self, path: Union[str, Path]) -> dict:
+        """Write the engine's *current* state as a fresh store generation.
+
+        Works from any state — a pristine build, a store-backed session, or
+        a dirty :class:`~repro.fastgraph.delta.DeltaCSR` overlay mid-stream
+        (packing re-freezes the live graph, which equals compacting the
+        overlay) — and re-anchors the engine on the new file:
+        :meth:`store_attachment` is valid again until the next effective
+        update.  Returns the pack info dict.
+        """
+        from repro.store import pack_store
+
+        previous = self._store_info or {}
+        generation = previous.get("generation", -1) + 1
+        info = pack_store(self, path, generation=generation)
+        self._store_info = {
+            "path": info["path"],
+            "format_version": info["format_version"],
+            "file_size": info["file_size"],
+            # A checkpoint anchors the session to the file; the engine's own
+            # buffers stay where they were (an opened store keeps its
+            # residency, an in-process build has no backing file pages).
+            "residency": previous.get("residency", "in-process"),
+            "generation": generation,
+        }
+        self._store_epoch = self.epoch
+        return info
+
+    def store_attachment(self) -> Optional[dict]:
+        """Worker-attach payload fragment, or ``None`` when not attachable.
+
+        Serving workers may reconstruct this engine by opening its store
+        file *only* while the engine still matches the packed generation
+        (``epoch == _store_epoch``): the store holds the base generation's
+        records, so attaching a dirty engine through it would pair stale
+        records with replayed edits.  After updates, callers fall back to
+        the serialized-payload path (or :meth:`checkpoint_store` first).
+        """
+        if self._store_info is not None and self._store_epoch == self.epoch:
+            return {"store_path": self._store_info["path"]}
+        return None
+
+    def store_provenance(self) -> dict:
+        """The storage-provenance block of :meth:`describe` (always present)."""
+        if self._store_info is None:
+            return {"store_backed": False}
+        return {
+            "store_backed": True,
+            **self._store_info,
+            "attached": self._store_epoch == self.epoch,
+        }
 
     # ------------------------------------------------------------------ #
     # online queries
@@ -629,4 +739,5 @@ class InfluentialCommunityEngine:
             },
             "index": self.index.describe(),
             "config": self.config.describe(),
+            "store": self.store_provenance(),
         }

@@ -65,6 +65,17 @@ class SerializationError(ReproError):
     """Raised when an index or graph cannot be serialised or deserialised."""
 
 
+class StoreFormatError(SerializationError):
+    """Raised when a ``repro.store`` container is structurally invalid.
+
+    Covers every way a store file can be unusable — truncation, a foreign
+    magic, an unsupported format version, a checksum mismatch, or a section
+    table pointing outside the file.  The store reader validates all of these
+    up front so corruption surfaces as this typed error, never as a struct
+    unpack crash or silently garbled buffers.
+    """
+
+
 class ServingError(ReproError):
     """Raised when the batch serving layer is misconfigured or misused."""
 

@@ -14,7 +14,10 @@ Two on-disk formats are supported:
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -22,6 +25,41 @@ from repro.exceptions import DatasetError, SerializationError
 from repro.graph.social_network import SocialNetwork
 
 PathLike = Union[str, Path]
+
+
+@contextlib.contextmanager
+def atomic_open(path: PathLike, mode: str = "w", encoding: str | None = "utf-8"):
+    """Open ``path`` for writing atomically: temp file + ``os.replace``.
+
+    The payload is written to a temporary file in the *same directory* (so the
+    final rename never crosses filesystems) and moved over the target only
+    after the writer block completes; a crash or exception mid-write can
+    therefore never leave a truncated artifact behind — the old file, if any,
+    survives untouched.  Used by every on-disk writer in the library (graph
+    JSON, index JSON, the binary store).
+
+    Pass ``mode="wb"`` (with ``encoding=None``) for binary payloads.
+    """
+    path = Path(path)
+    if "b" in mode:
+        encoding = None
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    handle = None
+    try:
+        handle = os.fdopen(descriptor, mode, encoding=encoding)
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(temp_name, path)
+    except BaseException:
+        if handle is not None and not handle.closed:
+            handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(temp_name)
+        raise
 
 
 # --------------------------------------------------------------------------- #
@@ -69,8 +107,7 @@ def read_edge_list(
 
 def write_edge_list(graph: SocialNetwork, path: PathLike) -> None:
     """Write the structural edges of ``graph`` as a tab-separated edge list."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_open(path) as handle:
         handle.write(f"# edge list for {graph.name}\n")
         handle.write(f"# |V|={graph.num_vertices()} |E|={graph.num_edges()}\n")
         for u, v in graph.edges():
@@ -132,9 +169,8 @@ def graph_from_dict(payload: dict) -> SocialNetwork:
 
 
 def save_graph_json(graph: SocialNetwork, path: PathLike) -> None:
-    """Write ``graph`` to ``path`` as a JSON document."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    """Write ``graph`` to ``path`` as a JSON document (atomically)."""
+    with atomic_open(path) as handle:
         json.dump(graph_to_dict(graph), handle)
 
 

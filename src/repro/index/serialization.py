@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import SerializationError
+from repro.graph.io import atomic_open
 from repro.index.precompute import PrecomputedData, RadiusAggregates, VertexAggregates
 from repro.index.tree import TreeIndex, build_tree_index
 from repro.keywords.bitvector import BitVector
@@ -141,8 +142,7 @@ def save_index(index: TreeIndex, path: PathLike) -> None:
         "leaf_capacity": index.leaf_capacity,
         "precomputed": precomputed_to_dict(index.precomputed),
     }
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_open(path) as handle:
         json.dump(payload, handle)
 
 

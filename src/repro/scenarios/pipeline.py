@@ -220,11 +220,21 @@ def _replay_backend(
     spec: ScenarioSpec,
     graph_doc: dict,
     trace,
+    store_path: Optional[str] = None,
 ) -> _Replay:
     session = f"scenario:{spec.name}:{backend}"
     started = time.perf_counter()
-    build = service.build(
-        BuildRequest(
+    if store_path is not None:
+        # engine.store = true: cold-start from the shared packed store
+        # (the backend stays a per-session override; the trace is unchanged).
+        build_request = BuildRequest(
+            session=session,
+            store_path=store_path,
+            config={"backend": backend},
+            replace=True,
+        )
+    else:
+        build_request = BuildRequest(
             session=session,
             graph=graph_doc,
             config={
@@ -235,7 +245,7 @@ def _replay_backend(
             validate=False,
             replace=True,
         )
-    )
+    build = service.build(build_request)
     build_seconds = time.perf_counter() - started
 
     wire_documents = [("build", _comparable("build", _wire(build)))]
@@ -304,10 +314,39 @@ def run_scenario(
     trace = synthesize_trace(graph, spec)
     graph_doc = graph_to_dict(graph)
 
-    replays = {
-        backend: _replay_backend(service, backend, spec, graph_doc, trace)
-        for backend in BACKENDS
-    }
+    store_dir = None
+    store_path: Optional[str] = None
+    if spec.engine.store:
+        # Pack the offline phase once; both backend sessions cold-start from
+        # the same store file (mmap attach instead of re-running it).
+        import tempfile
+
+        from repro.core.config import EngineConfig
+        from repro.core.engine import InfluentialCommunityEngine
+        from repro.store import pack_store
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-scenario-store-")
+        store_path = os.path.join(store_dir.name, "scenario.repro-store")
+        packed = InfluentialCommunityEngine.build(
+            graph,
+            config=EngineConfig(
+                max_radius=spec.engine.max_radius,
+                thresholds=tuple(spec.engine.thresholds),
+            ),
+            validate=False,
+        )
+        pack_store(packed, store_path)
+
+    try:
+        replays = {
+            backend: _replay_backend(
+                service, backend, spec, graph_doc, trace, store_path=store_path
+            )
+            for backend in BACKENDS
+        }
+    finally:
+        if store_dir is not None:
+            store_dir.cleanup()
 
     reference, fast = (replays[b] for b in BACKENDS)
     first_mismatch: Optional[int] = None

@@ -373,13 +373,19 @@ class QuerySpec:
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """The ``[engine]`` section: offline-phase knobs shared by both backends."""
+    """The ``[engine]`` section: offline-phase knobs shared by both backends.
+
+    ``store = true`` packs the offline phase into a :mod:`repro.store` file
+    once and cold-starts each backend's session from it (mmap attach instead
+    of an in-process offline phase) — the replay itself is unchanged.
+    """
 
     max_radius: int = 2
     thresholds: tuple = (0.1, 0.2, 0.3)
     damage_threshold: float = 1.0
+    store: bool = False
 
-    _KEYS = ("max_radius", "thresholds", "damage_threshold")
+    _KEYS = ("max_radius", "thresholds", "damage_threshold", "store")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EngineSpec":
@@ -407,8 +413,14 @@ class EngineSpec:
         )
         if damage == 0.0:
             raise ScenarioError("engine.damage_threshold must be in (0, 1], got 0")
+        store = payload.get("store", cls.store)
+        if not isinstance(store, bool):
+            raise ScenarioError(f"engine.store must be a boolean, got {store!r}")
         return cls(
-            max_radius=max_radius, thresholds=tuple(thresholds), damage_threshold=damage
+            max_radius=max_radius,
+            thresholds=tuple(thresholds),
+            damage_threshold=damage,
+            store=store,
         )
 
     def to_dict(self) -> dict:
@@ -416,6 +428,7 @@ class EngineSpec:
             "max_radius": self.max_radius,
             "thresholds": list(self.thresholds),
             "damage_threshold": self.damage_threshold,
+            "store": self.store,
         }
 
 

@@ -181,6 +181,10 @@ _WORKER_PROCESSORS: Optional[tuple] = None
 #: Parent-side state handed to fork workers (inherited copy-on-write).
 _FORK_STATE: Optional[tuple] = None
 
+#: Store handle of a store-attached worker; module-level so the mmap pages
+#: stay alive for the lifetime of the worker process.
+_WORKER_STORE_HANDLE = None
+
 
 def _build_processors(
     graph: SocialNetwork,
@@ -237,8 +241,30 @@ def _worker_init_rebuild(payload: dict) -> None:
     both its graph and the overlay — mirroring the parent's
     :class:`~repro.fastgraph.delta.DeltaCSR` exactly, for the price of
     shipping one graph either way.
+
+    When the parent is store-backed and pristine, the payload carries only a
+    ``store_path``: the worker *attaches* to the packed store (mmap — the
+    same physical pages as every other worker) instead of deserialising a
+    graph and index, so start-up cost is flat in the graph size.
     """
-    global _WORKER_PROCESSORS
+    global _WORKER_PROCESSORS, _WORKER_STORE_HANDLE
+    store_path = payload.get("store_path")
+    if store_path is not None:
+        from repro.store import open_store
+
+        handle = open_store(store_path)
+        _WORKER_STORE_HANDLE = handle  # pin the mmap for the process lifetime
+        backend = payload.get("backend", "reference")
+        _WORKER_PROCESSORS = _build_processors(
+            handle.graph,
+            handle.index,
+            PruningConfig(**payload["pruning"]),
+            payload["propagation_cache_capacity"],
+            payload.get("cache_epoch", 0),
+            backend=backend,
+            frozen=handle.csr if backend == "fast" else None,
+        )
+        return
     graph = graph_from_dict(payload["graph"])
     frozen = None
     edit_log = payload.get("edit_log") or []
@@ -557,7 +583,26 @@ class BatchQueryEngine:
         the batches applied since — the worker replays them (see
         :func:`_worker_init_rebuild`) instead of receiving the mutated
         graph, so its snapshot mirrors the parent's overlay exactly.
+
+        A store-backed engine with no updates since its store generation
+        ships only the store *path* — each worker mmaps the packed file
+        instead of rebuilding from a serialized document, so worker start-up
+        no longer scales with the graph.
         """
+        store_attachment = getattr(self.engine, "store_attachment", None)
+        attachment = store_attachment() if callable(store_attachment) else None
+        if attachment is not None:
+            return {
+                "store_path": attachment["store_path"],
+                "pruning": {
+                    "keyword": self.pruning.keyword,
+                    "support": self.pruning.support,
+                    "score": self.pruning.score,
+                },
+                "propagation_cache_capacity": self.config.propagation_cache_capacity,
+                "cache_epoch": self._epoch,
+                "backend": self._backend(),
+            }
         index = self.engine.index
         serialized_overlay = getattr(self.engine, "serialized_overlay", None)
         overlay = serialized_overlay() if callable(serialized_overlay) else None

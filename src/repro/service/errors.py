@@ -29,6 +29,7 @@ from repro.exceptions import (
     ServiceRequestError,
     ServingError,
     SessionExistsError,
+    StoreFormatError,
     UnknownSessionError,
     UnsupportedSchemaVersionError,
     VertexNotFoundError,
@@ -49,6 +50,7 @@ ERROR_CODES: dict[type, str] = {
     IndexError_: "INDEX_STATE_INVALID",
     DatasetError: "DATASET_ERROR",
     SerializationError: "SERIALIZATION_ERROR",
+    StoreFormatError: "STORE_FORMAT_INVALID",
     ServingError: "SERVING_ERROR",
     DynamicUpdateError: "DYNAMIC_UPDATE_INVALID",
     ScenarioError: "SCENARIO_INVALID",

@@ -205,8 +205,10 @@ class CommunityService:
             raise SessionExistsError(request.session)
         if request.graph is not None:
             graph = graph_from_dict(request.graph)
-        else:
+        elif request.graph_path is not None:
             graph = load_graph_json(request.graph_path)
+        else:
+            graph = None  # store-backed: the store carries the graph
         config_kwargs = dict(request.config or {})
         known = {f.name for f in dataclasses.fields(EngineConfig)}
         unknown = set(config_kwargs) - known
@@ -222,7 +224,20 @@ class CommunityService:
                     "BuildRequest.config.thresholds must be a list of numbers, "
                     f"got {config_kwargs['thresholds']!r}"
                 ) from None
-        if request.index_path is not None:
+        if request.store_path is not None:
+            # Opening a packed store: no offline phase at all.  The store's
+            # own shape parameters are authoritative (`from_store` rejects
+            # overrides that would invalidate the packed records); backend
+            # and serving knobs remain overridable.
+            try:
+                engine = InfluentialCommunityEngine.from_store(
+                    request.store_path, config_overrides=config_kwargs or None
+                )
+            except TypeError as exc:
+                raise MalformedRequestError(
+                    f"BuildRequest.config is invalid: {exc}"
+                ) from exc
+        elif request.index_path is not None:
             # Loading a saved index: the index's own shape parameters win,
             # and the request's config entries act as overrides (the common
             # case being backend selection for the online phase).

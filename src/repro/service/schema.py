@@ -311,16 +311,20 @@ class BuildRequest(_WireDocument):
     """Run the offline phase (or load a saved index) into a named session.
 
     Exactly one of ``graph`` (an inline graph document, the
-    :func:`repro.graph.io.graph_to_dict` format) or ``graph_path`` (a graph
-    JSON on the server's filesystem) is required.  ``index_path`` loads a
-    previously saved index instead of re-running the offline phase;
-    ``save_index_path`` persists the built index.  ``config`` carries
-    :class:`~repro.core.config.EngineConfig` keyword arguments.
+    :func:`repro.graph.io.graph_to_dict` format), ``graph_path`` (a graph
+    JSON on the server's filesystem) or ``store_path`` (a packed
+    ``repro.store`` container, opened mmap-backed with no offline phase) is
+    required.  ``index_path`` loads a previously saved index instead of
+    re-running the offline phase (not combinable with ``store_path``, which
+    carries its own records); ``save_index_path`` persists the built index.
+    ``config`` carries :class:`~repro.core.config.EngineConfig` keyword
+    arguments (overrides of the packed configuration when opening a store).
     """
 
     session: str = "default"
     graph: Optional[dict] = None
     graph_path: Optional[str] = None
+    store_path: Optional[str] = None
     index_path: Optional[str] = None
     save_index_path: Optional[str] = None
     config: Optional[dict] = None
@@ -331,6 +335,7 @@ class BuildRequest(_WireDocument):
         ("session", str, "default"),
         ("graph", dict, None),
         ("graph_path", str, None),
+        ("store_path", str, None),
         ("index_path", str, None),
         ("save_index_path", str, None),
         ("config", dict, None),
@@ -341,9 +346,18 @@ class BuildRequest(_WireDocument):
     def __post_init__(self) -> None:
         if not self.session:
             raise MalformedRequestError("BuildRequest.session must be non-empty")
-        if (self.graph is None) == (self.graph_path is None):
+        sources = sum(
+            source is not None for source in (self.graph, self.graph_path, self.store_path)
+        )
+        if sources != 1:
             raise MalformedRequestError(
-                "BuildRequest requires exactly one of 'graph' or 'graph_path'"
+                "BuildRequest requires exactly one of 'graph', 'graph_path' or "
+                "'store_path'"
+            )
+        if self.store_path is not None and self.index_path is not None:
+            raise MalformedRequestError(
+                "BuildRequest.index_path cannot be combined with store_path "
+                "(a store carries its own index records)"
             )
 
 

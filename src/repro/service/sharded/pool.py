@@ -55,21 +55,42 @@ class _ReplicaLost(Exception):
 
 
 def _worker_payload(engine: InfluentialCommunityEngine, shard: int, num_shards: int) -> dict:
-    """Everything a worker needs to rebuild the shard engine, pickled over the pipe."""
-    return {
-        "graph": graph_to_dict(engine.graph),
-        "precomputed": precomputed_to_dict(engine.index.precomputed),
-        "fanout": engine.index.fanout,
-        "leaf_capacity": engine.index.leaf_capacity,
+    """Everything a worker needs to rebuild the shard engine, pickled over the pipe.
+
+    A store-backed router engine with no updates since its store generation
+    ships only the store *path* — every replica mmaps the same packed file
+    (sharing physical pages) instead of unpickling a serialized graph and
+    index, so replica start-up is flat in the graph size.
+    """
+    payload = {
         "config": dataclasses.asdict(engine.config),
         "epoch": engine.epoch,
         "shard": shard,
         "num_shards": num_shards,
     }
+    attachment = engine.store_attachment()
+    if attachment is not None:
+        payload["store_path"] = attachment["store_path"]
+        return payload
+    payload.update(
+        {
+            "graph": graph_to_dict(engine.graph),
+            "precomputed": precomputed_to_dict(engine.index.precomputed),
+            "fanout": engine.index.fanout,
+            "leaf_capacity": engine.index.leaf_capacity,
+        }
+    )
+    return payload
 
 
 def _engine_from_payload(payload: dict) -> InfluentialCommunityEngine:
     """Rebuild the engine without re-running the offline phase."""
+    if payload.get("store_path") is not None:
+        engine = InfluentialCommunityEngine.from_store(
+            payload["store_path"], config=EngineConfig(**payload["config"])
+        )
+        engine.epoch = payload["epoch"]
+        return engine
     graph = graph_from_dict(payload["graph"])
     index = build_tree_index(
         graph,

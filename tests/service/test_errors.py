@@ -22,6 +22,7 @@ from repro.exceptions import (
     ServiceRequestError,
     ServingError,
     SessionExistsError,
+    StoreFormatError,
     UnknownSessionError,
     UnsupportedSchemaVersionError,
     VertexNotFoundError,
@@ -49,6 +50,7 @@ EXPECTED_CODES = {
     IndexError_: "INDEX_STATE_INVALID",
     DatasetError: "DATASET_ERROR",
     SerializationError: "SERIALIZATION_ERROR",
+    StoreFormatError: "STORE_FORMAT_INVALID",
     ServingError: "SERVING_ERROR",
     DynamicUpdateError: "DYNAMIC_UPDATE_INVALID",
     ScenarioError: "SCENARIO_INVALID",

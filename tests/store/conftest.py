@@ -1,0 +1,49 @@
+"""Shared fixtures for the store suite: one packed engine, reused read-only."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import InfluentialCommunityEngine
+from repro.graph.generators import planted_community_graph
+from repro.store import pack_store
+
+
+def build_store_graph():
+    """A 28-vertex planted network whose queries return real communities."""
+    graph = planted_community_graph(
+        [10, 10, 8],
+        intra_probability=0.8,
+        inter_probability=0.05,
+        rng=5,
+        name="store-planted",
+    )
+    for vertex in graph.vertices():
+        graph.set_keywords(vertex, {"movies"} if vertex < 20 else {"books"})
+    return graph
+
+
+@pytest.fixture(scope="module")
+def store_graph():
+    return build_store_graph()
+
+
+@pytest.fixture
+def store_graph_factory():
+    """A fresh, mutation-safe copy of the shared graph per call."""
+    return build_store_graph
+
+
+@pytest.fixture(scope="module")
+def store_engine(store_graph) -> InfluentialCommunityEngine:
+    return InfluentialCommunityEngine.build(
+        store_graph, config=EngineConfig(max_radius=2), validate=False
+    )
+
+
+@pytest.fixture(scope="module")
+def packed_store(store_engine, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("store") / "planted.repro-store"
+    pack_store(store_engine, str(path))
+    return str(path)

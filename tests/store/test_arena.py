@@ -1,0 +1,107 @@
+"""Arena tests: pack → open reconstructs the engine bit-identically."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.engine import InfluentialCommunityEngine
+from repro.exceptions import StoreFormatError
+from repro.index.serialization import precomputed_to_dict
+from repro.query.params import make_dtopl_query, make_topl_query
+from repro.store import open_store, pack_store, verify_store
+from repro.store.container import write_container
+
+
+TOPL = make_topl_query({"movies"}, k=3, radius=2, theta=0.1, top_l=3)
+DTOPL = make_dtopl_query({"movies", "books"}, k=3, radius=2, theta=0.1, top_l=2)
+
+
+def _fingerprint(result):
+    return tuple(
+        (community.vertices, round(community.score, 12)) for community in result
+    )
+
+
+@pytest.mark.parametrize("mmap", [True, False], ids=["mmap", "heap"])
+def test_round_trip_reconstruction(store_engine, packed_store, mmap):
+    handle = open_store(packed_store, mmap=mmap)
+    assert handle.info["residency"] == ("mmap" if mmap else "heap")
+    assert handle.info["generation"] == 0
+
+    # Graph: same vertices (same order), keywords and directed probabilities.
+    original = store_engine.graph
+    assert list(handle.graph.vertices()) == list(original.vertices())
+    for vertex in original.vertices():
+        assert handle.graph.keywords(vertex) == original.keywords(vertex)
+        for neighbor in original.neighbors(vertex):
+            assert handle.graph.probability(vertex, neighbor) == original.probability(
+                vertex, neighbor
+            )
+
+    # Index records: the serialized dict form is canonical — equal dicts
+    # means bit-identical bitvectors, supports, score bounds and trussness.
+    assert precomputed_to_dict(handle.index.precomputed) == precomputed_to_dict(
+        store_engine.index.precomputed
+    )
+    assert handle.index.describe() == store_engine.index.describe()
+    assert handle.config == store_engine.config
+
+
+def test_csr_views_are_zero_copy(packed_store):
+    handle = open_store(packed_store, mmap=True)
+    raw_buffer = handle._raw.buffer
+    assert handle.csr.indptr.obj is raw_buffer.obj
+    assert handle.csr.indices.obj is raw_buffer.obj
+
+
+def test_verify_store_summarises(store_engine, packed_store):
+    report = verify_store(packed_store)
+    assert report["ok"] is True
+    assert report["num_vertices"] == store_engine.graph.num_vertices()
+    assert report["num_edges"] == store_engine.graph.num_edges()
+    assert report["generation"] == 0
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_answers_identical_to_built_engine(store_graph, store_engine, packed_store, backend):
+    built = InfluentialCommunityEngine.build(
+        store_graph,
+        config=dataclasses.replace(store_engine.config, backend=backend),
+        validate=False,
+    )
+    attached = InfluentialCommunityEngine.from_store(
+        packed_store, config_overrides={"backend": backend}
+    )
+    topl_built = built.topl(TOPL)
+    assert len(topl_built.communities) > 0  # a real, non-degenerate workload
+    assert _fingerprint(topl_built) == _fingerprint(attached.topl(TOPL))
+    assert _fingerprint(built.dtopl(DTOPL)) == _fingerprint(attached.dtopl(DTOPL))
+
+
+def test_repack_from_store_backed_engine(packed_store, tmp_path):
+    """A store-backed engine can re-pack (memoryview buffers, not arrays)."""
+    attached = InfluentialCommunityEngine.from_store(packed_store)
+    repacked = tmp_path / "repacked.repro-store"
+    pack_store(attached, str(repacked), generation=1)
+    again = open_store(str(repacked))
+    assert again.info["generation"] == 1
+    assert precomputed_to_dict(again.index.precomputed) == precomputed_to_dict(
+        attached.index.precomputed
+    )
+
+
+def test_structurally_valid_but_incomplete_store_is_typed(tmp_path):
+    """A well-formed container missing the arena sections is still typed."""
+    path = tmp_path / "hollow.repro-store"
+    write_container(str(path), [("meta", b"{}")])
+    with pytest.raises(StoreFormatError):
+        open_store(str(path))
+
+
+def test_malformed_meta_is_typed(tmp_path):
+    path = tmp_path / "weird.repro-store"
+    write_container(str(path), [("meta", b'{"num_vertices": "not-a-number"}')])
+    with pytest.raises(StoreFormatError):
+        open_store(str(path))

@@ -1,0 +1,50 @@
+"""Scenario integration: the ``engine.store`` knob routes replay through a store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.pipeline import run_scenario
+from repro.scenarios.spec import EngineSpec, ScenarioSpec
+
+
+def _spec_document(store: object) -> dict:
+    return {
+        "scenario": {"name": "store-smoke", "seed": 7, "smoke": True},
+        "graph": {
+            "recipe": "planted",
+            "num_vertices": 60,
+            "keyword_domain": 6,
+            "params": {"communities": 3, "intra_probability": 0.3},
+        },
+        "probabilities": {"model": "weighted_cascade"},
+        "engine": {"max_radius": 2, "store": store},
+        "trace": {"kind": "bursty", "operations": 6, "update_share": 0.25},
+        "queries": {"theta": 0.05, "num_keywords": 2, "k": 3, "top_l": 2},
+        "gates": {"require_equivalence": True, "min_nonempty_results": 0},
+    }
+
+
+def test_engine_spec_store_round_trips():
+    spec = ScenarioSpec.from_dict(_spec_document(store=True))
+    assert spec.engine.store is True
+    assert spec.to_dict()["engine"]["store"] is True
+    # Default stays off and round-trips too.
+    assert EngineSpec().store is False
+    assert ScenarioSpec.from_dict(_spec_document(store=False)).engine.store is False
+
+
+def test_engine_spec_store_must_be_boolean():
+    with pytest.raises(ScenarioError, match="engine.store must be a boolean"):
+        ScenarioSpec.from_dict(_spec_document(store="yes"))
+
+
+@pytest.mark.slow
+def test_store_backed_scenario_passes_gates():
+    """Both backends replay through one packed store and still agree."""
+    report = run_scenario(
+        ScenarioSpec.from_dict(_spec_document(store=True)), enforce_gates=True
+    )
+    assert report.passed
+    assert report.equivalence
