@@ -53,6 +53,15 @@ class EngineConfig:
         Higher values compact less often (more overlay scan cost per query),
         lower values compact eagerly; the default keeps compaction amortized
         O(1) per edit.  See ``docs/backends.md``.
+    kernel_tier:
+        Fast backend only: which kernel implementations run over the CSR
+        snapshots.  ``"auto"`` (default) selects the vectorised numpy tier
+        when numpy is importable and the stdlib tier otherwise;
+        ``"stdlib"`` forces the dependency-free kernels; ``"vector"``
+        requires numpy and fails loudly without it.  Both tiers are
+        bit-identical — the knob is purely a performance trade, orthogonal
+        to ``backend``.  Ignored by the reference backend.  See
+        ``docs/backends.md``.
     """
 
     max_radius: int = DEFAULT_MAX_RADIUS
@@ -63,6 +72,7 @@ class EngineConfig:
     damage_threshold: float = DEFAULT_DAMAGE_THRESHOLD
     backend: str = "reference"
     compact_dirt_ratio: float = 0.25
+    kernel_tier: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_radius < 1:
@@ -94,6 +104,14 @@ class EngineConfig:
             raise QueryParameterError(
                 f"compact_dirt_ratio must be > 0, got {self.compact_dirt_ratio}"
             )
+        # Membership only — whether "vector" is actually runnable (numpy
+        # present) is resolved where kernels are built, so a config object
+        # stays constructible on hosts without numpy.
+        if self.kernel_tier not in ("auto", "stdlib", "vector"):
+            raise QueryParameterError(
+                "kernel_tier must be 'auto', 'stdlib' or 'vector', "
+                f"got {self.kernel_tier!r}"
+            )
 
     @classmethod
     def paper_defaults(cls) -> "EngineConfig":
@@ -111,4 +129,5 @@ class EngineConfig:
             "damage_threshold": self.damage_threshold,
             "backend": self.backend,
             "compact_dirt_ratio": self.compact_dirt_ratio,
+            "kernel_tier": self.kernel_tier,
         }

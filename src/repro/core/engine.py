@@ -123,6 +123,7 @@ class InfluentialCommunityEngine:
             num_bits=config.num_bits,
             backend=config.backend,
             frozen=frozen,
+            kernel_tier=config.kernel_tier,
         )
         index = build_tree_index(
             graph,
@@ -280,6 +281,7 @@ class InfluentialCommunityEngine:
             backend=self.config.backend,
             frozen=self.frozen_graph(),
             workspace=self._workspace(),
+            kernel_tier=self.config.kernel_tier,
         )
         return processor.query(query)
 
@@ -296,6 +298,7 @@ class InfluentialCommunityEngine:
             backend=self.config.backend,
             frozen=self.frozen_graph(),
             workspace=self._workspace(),
+            kernel_tier=self.config.kernel_tier,
         )
         return processor.query(query)
 
@@ -325,9 +328,9 @@ class InfluentialCommunityEngine:
         core = self.frozen_graph()
         workspace = self._fast_workspace
         if workspace is None or workspace.core is not core:
-            from repro.fastgraph.kernels import CSRWorkspace
+            from repro.fastgraph.kernels import make_workspace
 
-            workspace = CSRWorkspace(core)
+            workspace = make_workspace(core, self.config.kernel_tier)
             self._fast_workspace = workspace
         else:
             workspace.sync()
@@ -606,6 +609,7 @@ class InfluentialCommunityEngine:
             num_bits=self.config.num_bits,
             backend=self.config.backend,
             frozen=self.frozen_graph(),
+            kernel_tier=self.config.kernel_tier,
         )
         self.index = build_tree_index(
             self.graph,
@@ -730,6 +734,7 @@ class InfluentialCommunityEngine:
 
         return {
             "backend": self.config.backend,
+            "kernels": self._kernel_diagnostics(),
             "epoch": self.epoch,
             "index_schema_version": INDEX_FORMAT_VERSION,
             "graph": {
@@ -740,4 +745,30 @@ class InfluentialCommunityEngine:
             "index": self.index.describe(),
             "config": self.config.describe(),
             "store": self.store_provenance(),
+        }
+
+    def _kernel_diagnostics(self) -> dict:
+        """The ``kernels`` block of :meth:`describe`.
+
+        ``requested`` is the configured knob; ``active`` the tier kernels
+        actually run on — resolved for the fast backend (``"unavailable"``
+        when an explicit ``"vector"`` has no numpy to run on), ``None`` on
+        the reference backend, which has no kernel tiers.
+        """
+        from repro.exceptions import GraphError
+        from repro.fastgraph.csr import NUMPY_VERSION
+        from repro.fastgraph.kernels import resolve_kernel_tier
+
+        requested = self.config.kernel_tier
+        if self.config.backend != "fast":
+            active = None
+        else:
+            try:
+                active = resolve_kernel_tier(requested)
+            except GraphError:
+                active = "unavailable"
+        return {
+            "requested": requested,
+            "active": active,
+            "numpy_version": NUMPY_VERSION,
         }

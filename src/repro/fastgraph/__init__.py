@@ -19,6 +19,11 @@ This package provides a compact, immutable mirror of a social network:
 * :mod:`~repro.fastgraph.kernels` implements the scan-heavy computations
   over dense ints: stamp-based triangle/support counting, bucket-peel truss
   decomposition, BFS hop balls, and binary-heap max-product Dijkstra;
+* :mod:`~repro.fastgraph.vectorised` re-implements those kernels as numpy
+  array programs over the zero-copy CSR views — bit-identical outputs,
+  selected through the ``kernel_tier`` knob (``"auto"`` uses it whenever
+  numpy is importable; :func:`~repro.fastgraph.kernels.make_workspace`
+  builds the right workspace either way);
 * :mod:`~repro.fastgraph.offline` re-implements the offline pre-computation
   (Algorithm 2) on top of those kernels, producing a
   :class:`~repro.index.precompute.PrecomputedData` that is **bit-for-bit
@@ -36,12 +41,15 @@ build, online scoring and dynamic maintenance through it.  See
 ``docs/backends.md`` for when each backend applies.
 """
 
-from repro.fastgraph.csr import NUMPY_AVAILABLE, CSRGraph, freeze
+from repro.fastgraph.csr import NUMPY_AVAILABLE, NUMPY_VERSION, CSRGraph, freeze
 from repro.fastgraph.delta import DeltaCSR, overlay_from_edit_log
 from repro.fastgraph.kernels import (
+    KERNEL_TIERS,
     bfs_hop_ball,
     community_propagation_csr,
     edge_supports_csr,
+    make_workspace,
+    resolve_kernel_tier,
     truss_decomposition_csr,
 )
 from repro.fastgraph.offline import fast_precompute, fast_refresh_records
@@ -50,7 +58,9 @@ from repro.fastgraph.vertex_table import VertexTable
 __all__ = [
     "CSRGraph",
     "DeltaCSR",
+    "KERNEL_TIERS",
     "NUMPY_AVAILABLE",
+    "NUMPY_VERSION",
     "VertexTable",
     "bfs_hop_ball",
     "community_propagation_csr",
@@ -58,6 +68,8 @@ __all__ = [
     "fast_precompute",
     "fast_refresh_records",
     "freeze",
+    "make_workspace",
     "overlay_from_edit_log",
+    "resolve_kernel_tier",
     "truss_decomposition_csr",
 ]

@@ -15,10 +15,12 @@ ints of a :class:`~repro.fastgraph.vertex_table.VertexTable`:
 Everything lives in stdlib :class:`array.array` buffers — compact, picklable
 and cheap to hand to worker processes.  When numpy is installed (detected
 once at import, :data:`NUMPY_AVAILABLE`) the buffers are additionally exposed
-zero-copy as ndarrays via :meth:`CSRGraph.as_numpy`, which the analysis
-helpers use as a fast path for bulk statistics; the kernels in
-:mod:`repro.fastgraph.kernels` are deliberately stdlib-only so the library's
-no-dependency guarantee holds.
+zero-copy as ndarrays via :meth:`CSRGraph.as_numpy`.  The kernels in
+:mod:`repro.fastgraph.kernels` are stdlib-only so the library's
+no-dependency guarantee holds; when numpy is importable the vectorised
+kernel tier (:mod:`repro.fastgraph.vectorised`) runs the same kernels as
+array programs over these views — bit-identical outputs, selected through
+the ``kernel_tier`` engine knob (see ``docs/backends.md``).
 
 Neighbour order inside a row follows the source graph's adjacency insertion
 order, which keeps :meth:`CSRGraph.thaw` a faithful round-trip.
@@ -41,6 +43,11 @@ try:  # Optional fast path, auto-detected once at import.
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
     NUMPY_AVAILABLE = False
+
+#: numpy's version string, or ``None`` when numpy is not installed
+#: (surfaced by ``engine.describe()`` / ``/v1/health`` next to the active
+#: kernel tier).
+NUMPY_VERSION = _np.__version__ if NUMPY_AVAILABLE else None
 
 from repro.fastgraph.vertex_table import VertexTable
 

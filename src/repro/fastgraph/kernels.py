@@ -26,6 +26,14 @@ cross-backend property suite (``tests/fastgraph``) enforces all of this.
 Scratch buffers live in a :class:`CSRWorkspace` and are reset in
 ``O(touched)`` after each call, so per-centre kernels cost proportional to
 the region they visit, not to ``|V|``.
+
+The kernels here are the **stdlib tier** — pure Python, no dependencies.
+When numpy is importable, :func:`make_workspace` returns a
+:class:`~repro.fastgraph.vectorised.VectorWorkspace` instead, which
+re-implements the same kernels as numpy array programs over the zero-copy
+``CSRGraph.as_numpy()`` views with bit-identical outputs (the **vector
+tier**; see ``docs/backends.md`` for the tier matrix and the bit-identity
+argument).
 """
 
 from __future__ import annotations
@@ -43,18 +51,22 @@ from repro.truss.decomposition import TrussDecomposition
 # --------------------------------------------------------------------------- #
 # triangle / support counting
 # --------------------------------------------------------------------------- #
-def edge_supports_csr(csr: CSRGraph) -> array:
+def edge_supports_csr(csr: CSRGraph, lists: Optional[tuple] = None) -> array:
     """Return ``sup(e)`` for every undirected edge id of ``csr``.
 
     Stamp-based counting: for each vertex ``u`` (ascending), mark ``N(u)``
     in a stamp array, then for each neighbour ``v > u`` count the marked
     members of ``N(v)``.  Each edge is counted exactly once, with no set or
     tuple allocation in the inner loop.
+
+    ``lists`` is an optional pre-materialised ``(indptr, indices, arc_edge)``
+    triple of Python lists (``CSRWorkspace.csr_lists``); repeated callers
+    pass it to skip the O(|E|) buffer-to-list conversion per call.
     """
     n = csr.num_vertices
-    indptr = csr.indptr.tolist()
-    indices = csr.indices.tolist()
-    arc_edge = csr.arc_edge.tolist()
+    if lists is None:
+        lists = (csr.indptr.tolist(), csr.indices.tolist(), csr.arc_edge.tolist())
+    indptr, indices, arc_edge = lists
     supports = [0] * csr.num_edges
     marker = [-1] * n
     for u in range(n):
@@ -91,27 +103,33 @@ def supports_as_dict(csr: CSRGraph, supports: Iterable[int]) -> dict:
 # --------------------------------------------------------------------------- #
 # truss decomposition
 # --------------------------------------------------------------------------- #
-def truss_peel(csr: CSRGraph, supports: Optional[Iterable[int]] = None):
+def truss_peel(
+    csr: CSRGraph,
+    supports: Optional[Iterable[int]] = None,
+    lists: Optional[tuple] = None,
+):
     """Peel ``csr`` bottom-up; return per-edge and per-vertex trussness lists.
 
     The peel is the same algorithm as the reference decomposition — lowest
     remaining support first, trussness ``s + 2`` clamped monotonically — but
     runs over int edge ids with list buckets and lazy stale entries instead
-    of frozenset-keyed dicts of sets.
+    of frozenset-keyed dicts of sets.  ``lists`` is the same optional
+    pre-materialised ``(indptr, indices, arc_edge)`` triple
+    :func:`edge_supports_csr` takes.
     """
     n = csr.num_vertices
     m = csr.num_edges
+    if lists is None:
+        lists = (csr.indptr.tolist(), csr.indices.tolist(), csr.arc_edge.tolist())
     if supports is None:
-        supports = edge_supports_csr(csr)
+        supports = edge_supports_csr(csr, lists)
     current = list(supports)
     edge_u = csr.edge_u.tolist()
     edge_v = csr.edge_v.tolist()
 
     # Neighbour -> edge-id maps; shrink as edges peel off.
     adjacency: list[dict[int, int]] = [{} for _ in range(n)]
-    indptr = csr.indptr.tolist()
-    indices = csr.indices.tolist()
-    arc_edge = csr.arc_edge.tolist()
+    indptr, indices, arc_edge = lists
     for u in range(n):
         row = adjacency[u]
         for a in range(indptr[u], indptr[u + 1]):
@@ -214,12 +232,22 @@ class CSRWorkspace:
 
     __slots__ = (
         "core", "n",
-        "neighbor_ints", "ranked_arcs", "edge_arcs",
-        "dist", "order", "_best", "_popped", "_log_offset",
+        "neighbor_ints", "ranked_arcs", "edge_arcs", "_entries_ready",
+        "dist", "order", "_best", "_popped", "_log_offset", "_lists",
     )
+
+    #: Whether this workspace currently runs the vectorised kernel tier
+    #: (overridden by :class:`~repro.fastgraph.vectorised.VectorWorkspace`).
+    vector_ready = False
+
+    #: Subclasses whose primary kernels never read the per-vertex entry
+    #: tuples set this to defer their construction to the first fallback
+    #: that does (:meth:`ensure_entries`).
+    _defer_entries = False
 
     def __init__(self, core) -> None:
         self.core = core
+        self._lists = None
         self.n = core.num_vertices
         #: Per-vertex neighbour tuples in arc order (BFS, shell scans).
         self.neighbor_ints: list[tuple] = []
@@ -232,11 +260,9 @@ class CSRWorkspace:
         #: Per-vertex ``(edge id, neighbour)`` tuples in arc order (the
         #: offline shell scans look supports up by edge id).
         self.edge_arcs: list[tuple] = []
-        for u in range(self.n):
-            neighbors, ranked, edges = self._vertex_entries(u)
-            self.neighbor_ints.append(neighbors)
-            self.ranked_arcs.append(ranked)
-            self.edge_arcs.append(edges)
+        self._entries_ready = False
+        if not self._defer_entries:
+            self.ensure_entries()
         #: Hop distances of the most recent :meth:`bfs_ball` (-1 = unreached).
         self.dist = [-1] * self.n
         #: Visit order of the most recent :meth:`bfs_ball`.
@@ -244,6 +270,23 @@ class CSRWorkspace:
         self._best = [0.0] * self.n
         self._popped = bytearray(self.n)
         self._log_offset = len(getattr(core, "mutation_log", ()))
+
+    def ensure_entries(self) -> None:
+        """Materialise the per-vertex entry tuples (no-op once built).
+
+        The stdlib tier builds them during construction.  The vector tier
+        defers them — its whole-graph and batched offline kernels read the
+        numpy views instead — and calls this from every path that sweeps
+        :attr:`neighbor_ints` / :attr:`ranked_arcs` / :attr:`edge_arcs`.
+        """
+        if self._entries_ready:
+            return
+        self._entries_ready = True
+        for u in range(self.n):
+            neighbors, ranked, edges = self._vertex_entries(u)
+            self.neighbor_ints.append(neighbors)
+            self.ranked_arcs.append(ranked)
+            self.edge_arcs.append(edges)
 
     def _vertex_entries(self, vertex: int) -> tuple[tuple, tuple, tuple]:
         neighbors: list[int] = []
@@ -256,6 +299,45 @@ class CSRWorkspace:
                 ranked.append((p_out, head))
         ranked.sort(reverse=True)
         return tuple(neighbors), tuple(ranked), tuple(edges)
+
+    def csr_lists(self) -> tuple:
+        """The core's ``(indptr, indices, arc_edge)`` buffers as Python lists.
+
+        Materialised once and cached, so repeated support/peel kernel calls
+        stop paying the O(|E|) buffer-to-list conversion each time.  Only
+        meaningful over a frozen :class:`~repro.fastgraph.csr.CSRGraph`
+        core; a mutable overlay has no stable CSR layout to materialise.
+        """
+        if not isinstance(self.core, CSRGraph):
+            raise GraphError(
+                "CSR buffer lists need a frozen CSRGraph core; compact the "
+                f"overlay first (core is {type(self.core).__name__})"
+            )
+        if self._lists is None:
+            core = self.core
+            self._lists = (
+                core.indptr.tolist(),
+                core.indices.tolist(),
+                core.arc_edge.tolist(),
+            )
+        return self._lists
+
+    def edge_supports(self):
+        """Per-edge-id supports of the (frozen) core — tier-polymorphic.
+
+        The stdlib tier returns an ``array('q')``; the vectorised tier an
+        ``int64`` ndarray.  Values are identical; consumers treat the result
+        as an opaque int sequence.
+        """
+        return edge_supports_csr(self.core, self.csr_lists())
+
+    def truss_peel(self, supports=None):
+        """Truss-peel the (frozen) core — tier-polymorphic.
+
+        Returns ``(edge_truss, vertex_truss)`` int sequences, identical
+        across tiers (trussness is a graph invariant).
+        """
+        return truss_peel(self.core, supports, self.csr_lists())
 
     def rebind(self, core) -> None:
         """Adopt a core whose live arcs currently equal this workspace's.
@@ -279,6 +361,7 @@ class CSRWorkspace:
         log = getattr(self.core, "mutation_log", ())
         if len(log) <= self._log_offset:
             return 0
+        self.ensure_entries()
         dirty = set(log[self._log_offset:])
         self._log_offset = len(log)
         grown = self.core.num_vertices
@@ -494,3 +577,51 @@ def community_propagation_csr(
     id_of = csr.table.id_of
     cpp = {id_of(vertex): probability for vertex, probability in pairs}
     return InfluencedCommunity(seed_vertices=seeds, cpp=cpp, threshold=threshold)
+
+
+# --------------------------------------------------------------------------- #
+# kernel tiers
+# --------------------------------------------------------------------------- #
+#: Valid values of the ``kernel_tier`` engine knob.
+KERNEL_TIERS = ("auto", "stdlib", "vector")
+
+
+def resolve_kernel_tier(kernel_tier: str = "auto") -> str:
+    """Resolve the ``kernel_tier`` knob to a concrete tier.
+
+    ``"auto"`` picks ``"vector"`` when numpy is importable and ``"stdlib"``
+    otherwise; an explicit ``"vector"`` without numpy raises (the caller
+    asked for something the environment cannot provide), and an explicit
+    ``"stdlib"`` always wins — the opt-out for bisecting or benchmarking.
+    """
+    from repro.fastgraph.csr import NUMPY_AVAILABLE
+
+    if kernel_tier not in KERNEL_TIERS:
+        raise GraphError(
+            f"kernel_tier must be one of {KERNEL_TIERS}, got {kernel_tier!r}"
+        )
+    if kernel_tier == "auto":
+        return "vector" if NUMPY_AVAILABLE else "stdlib"
+    if kernel_tier == "vector" and not NUMPY_AVAILABLE:
+        raise GraphError(
+            "kernel_tier 'vector' requires numpy (pip install "
+            "'repro-topl-icde[fast]'); use 'auto' to fall back silently"
+        )
+    return kernel_tier
+
+
+def make_workspace(core, kernel_tier: str = "auto") -> CSRWorkspace:
+    """Build the kernel workspace for ``core`` on the configured tier.
+
+    The vector tier needs a frozen :class:`~repro.fastgraph.csr.CSRGraph`
+    (the array programs read the CSR buffers directly); any other core — in
+    particular a mutable :class:`~repro.fastgraph.delta.DeltaCSR` overlay —
+    gets the stdlib workspace, the *compact-before-vectorise* rule: dirty
+    overlays run stdlib kernels until the engine folds them back into a
+    pure CSR, at which point the next workspace build is vectorised again.
+    """
+    if resolve_kernel_tier(kernel_tier) == "vector" and isinstance(core, CSRGraph):
+        from repro.fastgraph.vectorised import VectorWorkspace
+
+        return VectorWorkspace(core)
+    return CSRWorkspace(core)

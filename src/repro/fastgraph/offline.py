@@ -31,10 +31,8 @@ from collections.abc import Iterable, Sequence
 from repro.exceptions import GraphError
 from repro.fastgraph.csr import freeze
 from repro.fastgraph.kernels import (
-    CSRWorkspace,
-    edge_supports_csr,
+    make_workspace,
     supports_as_dict,
-    truss_peel,
 )
 from repro.graph.social_network import SocialNetwork
 from repro.keywords.bitvector import BitVector
@@ -47,6 +45,7 @@ def fast_precompute(
     num_bits: int,
     vertices: Iterable | None = None,
     frozen=None,
+    kernel_tier: str = "auto",
 ):
     """Run the offline pre-computation over a frozen snapshot of ``graph``.
 
@@ -54,8 +53,10 @@ def fast_precompute(
     :func:`repro.index.precompute.precompute`; see the module docstring for
     the equivalence argument.  Pass ``frozen`` (a ``CSRGraph`` of the same
     graph) to reuse an existing snapshot instead of freezing again.
-    Callers normally go through ``precompute(..., backend="fast")`` rather
-    than calling this directly.
+    ``kernel_tier`` selects the stdlib or vectorised kernels
+    (:func:`~repro.fastgraph.kernels.make_workspace`); both produce the
+    same bytes.  Callers normally go through
+    ``precompute(..., backend="fast")`` rather than calling this directly.
     """
     # Deferred import: repro.index.precompute routes its fast backend here,
     # so the result types cannot be imported at module level.
@@ -76,27 +77,16 @@ def fast_precompute(
         thresholds=ordered_thresholds,
         num_bits=num_bits,
     )
-    supports = edge_supports_csr(csr)
-    data.global_edge_support = supports_as_dict(csr, supports)
-    _, vertex_truss = truss_peel(csr, supports)
-
-    workspace = CSRWorkspace(csr)
+    workspace = make_workspace(csr, kernel_tier)
+    supports = workspace.edge_supports()
+    # ``tolist()`` on both tiers: Python ints from here on, so the
+    # serialised index never carries numpy scalars.
     support_list = supports.tolist()
-    # Per-vertex (edge support, neighbour) pairs, sorted by descending
-    # support so the shell scan below can stop at the first entry that
-    # cannot beat the running maximum.
-    support_arcs = [
-        tuple(
-            sorted(
-                (
-                    (support_list[edge_id], head)
-                    for edge_id, head in workspace.edge_arcs[u]
-                ),
-                reverse=True,
-            )
-        )
-        for u in range(csr.num_vertices)
-    ]
+    data.global_edge_support = supports_as_dict(csr, support_list)
+    _, vertex_truss = workspace.truss_peel(supports)
+    if hasattr(vertex_truss, "tolist"):
+        vertex_truss = vertex_truss.tolist()
+
     keyword_bits = [
         BitVector.from_keywords(keywords, num_bits).bits for keywords in csr.keywords
     ]
@@ -108,11 +98,41 @@ def fast_precompute(
     else:
         centres = [index_of(vertex) for vertex in vertices]
 
-    for centre in centres:
-        per_radius = _ball_aggregates(
-            workspace, centre, max_radius, ordered_thresholds, num_bits,
-            keyword_bits.__getitem__, support_arcs.__getitem__,
+    if workspace.vector_ready:
+        per_radius_list = _vector_ball_aggregates(
+            workspace, list(centres), max_radius, ordered_thresholds, num_bits,
+            keyword_bits, supports,
         )
+        per_radius_pairs = zip(centres, per_radius_list)
+    else:
+        workspace.ensure_entries()
+        # Per-vertex (edge support, neighbour) pairs, sorted by descending
+        # support so the shell scan below can stop at the first entry that
+        # cannot beat the running maximum.
+        support_arcs = [
+            tuple(
+                sorted(
+                    (
+                        (support_list[edge_id], head)
+                        for edge_id, head in workspace.edge_arcs[u]
+                    ),
+                    reverse=True,
+                )
+            )
+            for u in range(csr.num_vertices)
+        ]
+        per_radius_pairs = (
+            (
+                centre,
+                _ball_aggregates(
+                    workspace, centre, max_radius, ordered_thresholds, num_bits,
+                    keyword_bits.__getitem__, support_arcs.__getitem__,
+                ),
+            )
+            for centre in centres
+        )
+
+    for centre, per_radius in per_radius_pairs:
         data.vertex_aggregates[id_of(centre)] = VertexAggregates(
             vertex=id_of(centre),
             keyword_bitvector=BitVector(keyword_bits[centre], num_bits),
@@ -120,6 +140,39 @@ def fast_precompute(
             center_trussness=vertex_truss[centre],
         )
     return data
+
+
+#: Memory cap for one batched offline block: the batch kernel keeps three
+#: dense per-(centre, vertex) state arrays, so a block holds at most this
+#: many slots x vertices entries (~17 bytes each => ~70 MB peak).
+_VECTOR_BLOCK_ENTRIES = 4_000_000
+
+
+def _vector_ball_aggregates(
+    workspace, centres, max_radius, thresholds, num_bits, keyword_bits, supports
+):
+    """Run the batched vector Algorithm 2 over ``centres`` in blocks.
+
+    Returns per-centre ``{radius: RadiusAggregates}`` dicts in order.
+    Blocks cap the dense per-(centre, vertex) scratch of
+    :func:`~repro.fastgraph.vectorised.ball_aggregates_batch`; results are
+    independent per centre, so blocking changes nothing but peak memory.
+    """
+    import numpy as np
+
+    from repro.fastgraph.vectorised import ball_aggregates_batch
+
+    supports_np = np.asarray(supports, dtype=np.int64)
+    block = max(1, _VECTOR_BLOCK_ENTRIES // max(workspace.n, 1))
+    results = []
+    for start in range(0, len(centres), block):
+        results.extend(
+            ball_aggregates_batch(
+                workspace, centres[start : start + block], max_radius,
+                thresholds, num_bits, keyword_bits, supports_np,
+            )
+        )
+    return results
 
 
 def _ball_aggregates(
@@ -240,6 +293,7 @@ def fast_refresh_records(core, workspace, data, vertices, truss_state) -> int:
     from repro.index.precompute import VertexAggregates
 
     workspace.sync()
+    workspace.ensure_entries()  # the scalar refresh sweeps the entry tuples
     num_bits = data.num_bits
     index_of = core.table.index_of
     supports_by_id = truss_state.supports_by_edge_id()

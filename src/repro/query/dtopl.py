@@ -45,6 +45,7 @@ class DTopLProcessor:
         backend: str = "reference",
         frozen=None,
         workspace=None,
+        kernel_tier: str = "auto",
     ) -> None:
         self.graph = graph
         self.topl = TopLProcessor(
@@ -56,6 +57,7 @@ class DTopLProcessor:
             backend=backend,
             frozen=frozen,
             workspace=workspace,
+            kernel_tier=kernel_tier,
         )
 
     @property

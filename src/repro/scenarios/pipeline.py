@@ -77,7 +77,9 @@ def _comparable(kind: str, document: dict) -> dict:
         # two sessions are *supposed* to disagree on).
         engine = document.get("engine", {})
         engine.pop("backend", None)
+        engine.pop("kernels", None)
         engine.get("config", {}).pop("backend", None)
+        engine.get("config", {}).pop("kernel_tier", None)
     return document
 
 

@@ -196,6 +196,7 @@ def _build_processors(
     backend: str = "reference",
     frozen=None,
     workspace=None,
+    kernel_tier: str = "auto",
 ) -> tuple:
     cache = (
         propagation_cache
@@ -211,12 +212,12 @@ def _build_processors(
     topl = TopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
         cache_epoch=cache_epoch, backend=backend, frozen=frozen,
-        workspace=workspace,
+        workspace=workspace, kernel_tier=kernel_tier,
     )
     dtopl = DTopLProcessor(
         graph, index=index, pruning=pruning, propagation_cache=cache,
         cache_epoch=cache_epoch, backend=backend, frozen=frozen,
-        workspace=workspace,
+        workspace=workspace, kernel_tier=kernel_tier,
     )
     return topl, dtopl
 
@@ -224,9 +225,12 @@ def _build_processors(
 def _worker_init_fork() -> None:
     """Pool initializer for ``fork``: the state arrived with the fork itself."""
     global _WORKER_PROCESSORS
-    graph, index, pruning, capacity, epoch, backend, frozen = _FORK_STATE
+    graph, index, pruning, capacity, epoch, backend, frozen, kernel_tier = (
+        _FORK_STATE
+    )
     _WORKER_PROCESSORS = _build_processors(
-        graph, index, pruning, capacity, epoch, backend=backend, frozen=frozen
+        graph, index, pruning, capacity, epoch, backend=backend, frozen=frozen,
+        kernel_tier=kernel_tier,
     )
 
 
@@ -263,6 +267,7 @@ def _worker_init_rebuild(payload: dict) -> None:
             payload.get("cache_epoch", 0),
             backend=backend,
             frozen=handle.csr if backend == "fast" else None,
+            kernel_tier=payload.get("kernel_tier", "auto"),
         )
         return
     graph = graph_from_dict(payload["graph"])
@@ -292,6 +297,7 @@ def _worker_init_rebuild(payload: dict) -> None:
         payload.get("cache_epoch", 0),
         backend=payload.get("backend", "reference"),
         frozen=frozen,
+        kernel_tier=payload.get("kernel_tier", "auto"),
     )
 
 
@@ -365,11 +371,16 @@ class BatchQueryEngine:
             backend=self._backend(),
             frozen=self._frozen(),
             workspace=self._workspace(),
+            kernel_tier=self._kernel_tier(),
         )
 
     def _backend(self) -> str:
         config = getattr(self.engine, "config", None)
         return getattr(config, "backend", "reference")
+
+    def _kernel_tier(self) -> str:
+        config = getattr(self.engine, "config", None)
+        return getattr(config, "kernel_tier", "auto")
 
     def _frozen(self):
         frozen_graph = getattr(self.engine, "frozen_graph", None)
@@ -541,6 +552,7 @@ class BatchQueryEngine:
                     self._epoch,
                     self._backend(),
                     self._frozen(),
+                    self._kernel_tier(),
                 )
                 pool = context.Pool(workers, initializer=_worker_init_fork)
             else:
@@ -602,6 +614,7 @@ class BatchQueryEngine:
                 "propagation_cache_capacity": self.config.propagation_cache_capacity,
                 "cache_epoch": self._epoch,
                 "backend": self._backend(),
+                "kernel_tier": self._kernel_tier(),
             }
         index = self.engine.index
         serialized_overlay = getattr(self.engine, "serialized_overlay", None)
@@ -618,6 +631,7 @@ class BatchQueryEngine:
             "propagation_cache_capacity": self.config.propagation_cache_capacity,
             "cache_epoch": self._epoch,
             "backend": self._backend(),
+            "kernel_tier": self._kernel_tier(),
         }
         if overlay is not None:
             payload["graph"] = overlay["base_graph"]
